@@ -1,0 +1,53 @@
+// Ablation: the GEM-locking refinement of Sections 2/3.2 — "a refinement to
+// reduce the number of GEM accesses is to authorize the node's local lock
+// managers to locally process certain lock requests." The paper's main runs
+// deliberately do NOT use it (every lock goes to the GLT); this bench shows
+// what read authorizations buy on the read-dominated trace workload, where
+// 58 lock requests per transaction hammer the GLT.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "workload/trace_generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  sim::Rng trng(7);
+  const workload::Trace trace = workload::generate_synthetic_trace({}, trng);
+
+  std::printf("\n== Ablation: GEM local read authorizations (trace workload, "
+              "50 TPS/node, NOFORCE, affinity routing) ==\n");
+  std::printf("%-6s %2s | %9s %9s %9s %8s %8s\n", "auths", "N", "resp[ms]",
+              "gltLocks", "authLocks", "gemUtil", "rev/tx");
+  for (bool auths : {false, true}) {
+    for (int n : {2, 4, 8}) {
+      if (n > opt.max_nodes) continue;
+      SystemConfig cfg = make_trace_config(trace);
+      cfg.nodes = n;
+      cfg.coupling = Coupling::GemLocking;
+      cfg.routing = Routing::Affinity;
+      cfg.gem_read_authorizations = auths;
+      cfg.warmup = opt.warmup;
+      cfg.measure = opt.measure;
+      cfg.seed = opt.seed;
+      System sys(cfg, make_trace_workload(cfg, trace));
+      const RunResult r = sys.run();
+      const double per_txn =
+          r.commits ? 1.0 / static_cast<double>(r.commits) : 0;
+      std::printf("%-6s %2d | %9.1f %9.2f %9.2f %7.2f%% %8.3f\n",
+                  auths ? "on" : "off", n, r.resp_ms,
+                  static_cast<double>(sys.metrics().lock_local.value()) *
+                      per_txn,
+                  static_cast<double>(sys.metrics().lock_auth_local.value()) *
+                      per_txn,
+                  r.gem_util * 100, r.revocations_per_txn);
+    }
+  }
+  std::printf("\nExpected shape: authorizations shift most of the ~58 GLT "
+              "lock operations per transaction to local processing, cutting "
+              "GEM utilization; response times barely move (GLT access was "
+              "already cheap) — confirming why the paper could afford to "
+              "skip the refinement in its experiments.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: group commit. The paper charges one log page write per update
+// transaction (Section 3.2) — at 100 TPS/node against a ~6.4 ms log access
+// the two configured log disks stay below saturation, but a single log disk
+// or higher rates push rho past 1 and the commit path collapses. Group
+// commit batches concurrent committers into one physical write.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  std::printf("\n== Ablation: group commit (debit-credit, 1 node, 1 log "
+              "disk, 8 CPUs, NOFORCE) ==\n");
+  std::printf("%6s %-6s | %9s %9s %9s %10s\n", "TPS", "group", "resp[ms]",
+              "tput", "logUtil", "txns/flush");
+  for (double tps : {100.0, 150.0, 200.0, 300.0}) {
+    for (bool group : {false, true}) {
+      SystemConfig cfg = make_debit_credit_config();
+      cfg.nodes = 1;
+      cfg.arrival_rate_per_node = tps;
+      cfg.cpu.processors = 8;  // keep the CPU out of the way
+      cfg.log_disks_per_node = 1;
+      cfg.log_group_commit = group;
+      cfg.warmup = opt.warmup;
+      cfg.measure = opt.measure;
+      cfg.seed = opt.seed;
+      System sys(cfg, make_debit_credit_workload(cfg));
+      const RunResult r = sys.run();
+      std::printf("%6.0f %-6s | %9.2f %9.1f %8.1f%% %10.2f\n", tps,
+                  group ? "on" : "off", r.resp_ms, r.throughput,
+                  sys.storage().log_group(0).arm_utilization() * 100,
+                  sys.log(0).batching_factor());
+    }
+  }
+  std::printf("\nExpected shape: without group commit the single log disk "
+              "saturates between 150 and 200 TPS (response times explode, "
+              "throughput caps); with it the batching factor rises with the "
+              "load and the commit path keeps scaling.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: how much of the loose-coupling penalty is CPU path length of the
+// communication protocol? The paper charges 5000 instructions per short
+// send/receive (the general-purpose stacks of the early 90s) and notes that
+// "message transfer times improved substantially, but the CPU overhead ...
+// remained very high". Sweeping that constant shows where PCL would catch up
+// with GEM locking.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  const int n = std::min(10, opt.max_nodes);
+  std::printf("\n== Ablation: message CPU cost (PCL vs GEM, random routing, "
+              "NOFORCE, N=%d, buffer 200) ==\n", n);
+
+  SystemConfig gem_cfg = make_debit_credit_config();
+  gem_cfg.nodes = n;
+  gem_cfg.coupling = Coupling::GemLocking;
+  gem_cfg.routing = Routing::Random;
+  gem_cfg.warmup = opt.warmup;
+  gem_cfg.measure = opt.measure;
+  const RunResult gem = run_debit_credit(gem_cfg);
+  std::printf("GEM locking baseline: resp %.2f ms, tps80/node %.1f\n\n",
+              gem.resp_ms, gem.tps_per_node_at_80);
+
+  std::printf("%14s | %9s %8s %8s %9s\n", "instr/short", "resp[ms]", "cpu",
+              "cpuMax", "tps80/nd");
+  for (double instr : {5000.0, 2500.0, 1000.0, 250.0}) {
+    SystemConfig cfg = gem_cfg;
+    cfg.coupling = Coupling::PrimaryCopy;
+    cfg.comm.short_instr = instr;
+    cfg.comm.long_instr = instr * 8.0 / 5.0;  // keep the paper's ratio
+    const RunResult r = run_debit_credit(cfg);
+    std::printf("%14.0f | %9.2f %7.1f%% %7.1f%% %9.1f\n", instr, r.resp_ms,
+                r.cpu_util * 100, r.cpu_util_max * 100, r.tps_per_node_at_80);
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Ablation: update-mode (U) locks vs plain read->write upgrades under a
+// read-modify-write workload. Strict 2PL with R->W upgrades deadlocks
+// whenever two transactions read the same page before writing it; U locks
+// serialize the *intent* and remove the cycles. (An extension beyond the
+// paper — debit-credit's fixed reference order makes it deadlock-free, but
+// general workloads are not.)
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace gemsd;
+using workload::PageRef;
+using workload::TxnSpec;
+
+PageId pg(std::int64_t n) { return PageId{0, n}; }
+
+class ModGla : public workload::GlaMap {
+ public:
+  explicit ModGla(int nodes) : nodes_(nodes) {}
+  NodeId gla(PageId p) const override {
+    return static_cast<NodeId>(p.page % nodes_);
+  }
+
+ private:
+  int nodes_;
+};
+struct NullGen : workload::WorkloadGenerator {
+  TxnSpec next(sim::Rng&) override { return {}; }
+  int num_types() const override { return 1; }
+};
+
+struct Row {
+  std::uint64_t deadlocks;
+  double resp_ms;
+  double wall_ms;
+};
+
+Row run(Coupling c, bool intent, int hot_pages, int txns) {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.coupling = c;
+  cfg.update = UpdateStrategy::NoForce;
+  cfg.buffer_pages = 64;
+  cfg.mpl = 400;
+  cfg.partitions.resize(1);
+  cfg.partitions[0].name = "T";
+  cfg.partitions[0].pages_per_unit = 4096;
+  cfg.partitions[0].locked = true;
+  cfg.partitions[0].disks_per_unit = 16;
+
+  System::Workload wl;
+  wl.gen = std::make_unique<NullGen>();
+  wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
+  wl.gla = std::make_unique<ModGla>(cfg.nodes);
+  System sys(cfg, std::move(wl));
+
+  sim::Rng rng(4242);
+  for (int i = 0; i < txns; ++i) {
+    TxnSpec t;
+    const std::int64_t page = rng.uniform_int(0, hot_pages - 1);
+    t.refs.push_back(PageRef{pg(page), false, intent});
+    t.refs.push_back(PageRef{pg(page), true, false});
+    sys.submit(static_cast<NodeId>(i % cfg.nodes), t);
+  }
+  sys.scheduler().run_all();
+  return {sys.metrics().deadlocks.value(), sys.metrics().response.mean() * 1e3,
+          sys.scheduler().now() * 1e3};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n== Ablation: update-mode locks vs R->W upgrades "
+              "(read-modify-write, 800 txns, 4 nodes) ==\n");
+  std::printf("%-5s %-8s %9s | %10s %9s %10s\n", "mode", "locking", "hotset",
+              "deadlocks", "resp[ms]", "drain[ms]");
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    for (int hot : {4, 32, 256}) {
+      for (bool intent : {false, true}) {
+        const Row r = run(c, intent, hot, 800);
+        std::printf("%-5s %-8s %9d | %10llu %9.1f %10.0f\n",
+                    intent ? "U" : "R->W", to_string(c), hot,
+                    static_cast<unsigned long long>(r.deadlocks), r.resp_ms,
+                    r.wall_ms);
+      }
+    }
+  }
+  std::printf("\nExpected shape: U locks eliminate upgrade deadlocks at every "
+              "contention level; the R->W variant thrashes (aborts/restarts) "
+              "as the hot set shrinks.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Availability experiment (beyond the paper's figures, quantifying its
+// Sections 1-2 argument): crash one of four nodes mid-run and track the
+// cluster's committed-transaction timeline through detection, recovery and
+// rejoin — for close coupling (the non-volatile GLT survives; only the dead
+// node's owned pages need REDO) vs loose coupling (the failed node's lock
+// authority is gone; its whole partition freezes until reconstructed).
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  const double kFailAt = 10.0;
+  const double kEnd = 22.0;
+  const double kBucket = 1.0;
+
+  std::printf("\n== Availability: node 1 of 4 crashes at t=%.0fs "
+              "(debit-credit, NOFORCE, affinity, 100 TPS/node) ==\n", kFailAt);
+  std::printf("GLA rebuild (PCL) 2 s, node restart 5 s, detection 100 ms.\n\n");
+  std::printf("%5s", "t[s]");
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    std::printf(" %12s", to_string(c));
+  }
+  std::printf("   (committed txns per second bucket)\n");
+
+  std::vector<std::vector<double>> series;
+  std::vector<std::uint64_t> lost;
+  std::vector<double> rec_time;
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    SystemConfig cfg = make_debit_credit_config();
+    cfg.nodes = 4;
+    cfg.coupling = c;
+    cfg.update = UpdateStrategy::NoForce;
+    cfg.routing = Routing::Affinity;
+    cfg.seed = opt.seed;
+    System sys(cfg, make_debit_credit_workload(cfg));
+    sys.start_source();
+    std::vector<double> buckets;
+    std::uint64_t last = 0;
+    bool failed = false;
+    for (double t = kBucket; t <= kEnd + 1e-9; t += kBucket) {
+      if (!failed && t > kFailAt) {
+        sys.run_until(kFailAt);
+        sys.fail_node(1);
+        failed = true;
+      }
+      sys.run_until(t);
+      const auto now = sys.metrics().commits.value();
+      buckets.push_back(static_cast<double>(now - last) / kBucket);
+      last = now;
+    }
+    series.push_back(buckets);
+    lost.push_back(sys.metrics().lost_txns.value());
+    rec_time.push_back(sys.metrics().recovery_time.count()
+                           ? sys.metrics().recovery_time.mean()
+                           : 0.0);
+  }
+
+  for (std::size_t b = 0; b < series[0].size(); ++b) {
+    std::printf("%5.0f", (b + 1) * kBucket);
+    for (const auto& s : series) std::printf(" %12.0f", s[b]);
+    std::printf("%s\n",
+                (b + 1) * kBucket == kFailAt + 1 ? "   <- crash window" : "");
+  }
+  std::printf("\nlost in-flight txns: GEM %llu, PCL %llu; "
+              "recovery (detect+redo[+rebuild]): GEM %.2fs, PCL %.2fs\n",
+              static_cast<unsigned long long>(lost[0]),
+              static_cast<unsigned long long>(lost[1]), rec_time[0],
+              rec_time[1]);
+  std::printf("\nExpected shape: both dip to ~3/4 throughput while the node "
+              "is down; PCL additionally stalls every transaction touching "
+              "the dead node's lock partition until the authority is "
+              "rebuilt (deeper, longer dip), while GEM locking's surviving "
+              "lock table lets the other nodes run on undisturbed.\n");
+  return 0;
+}

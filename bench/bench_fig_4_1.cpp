@@ -1,0 +1,43 @@
+// Fig. 4.1 — Influence of workload allocation and update strategy for GEM
+// locking (closely coupled), debit-credit, 100 TPS per node, buffer 200
+// pages, all database and log files on plain disks.
+//
+// Paper shape: affinity-based routing keeps response times flat from 1 to 10
+// nodes for both update strategies; random routing degrades with the node
+// count (buffer invalidations on BRANCH/TELLER), more strongly for FORCE;
+// FORCE is always slower than NOFORCE (force-write I/O at commit).
+#include <vector>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  std::vector<RunResult> runs;
+  for (Routing routing : {Routing::Affinity, Routing::Random}) {
+    for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+      for (int n : {1, 2, 3, 5, 7, 10}) {
+        if (n > opt.max_nodes) continue;
+        SystemConfig cfg = make_debit_credit_config();
+        cfg.nodes = n;
+        cfg.coupling = Coupling::GemLocking;
+        cfg.update = upd;
+        cfg.routing = routing;
+        cfg.buffer_pages = 200;
+        cfg.warmup = opt.warmup;
+        cfg.measure = opt.measure;
+        cfg.seed = opt.seed;
+        runs.push_back(run_debit_credit(cfg));
+      }
+    }
+  }
+  if (opt.csv) {
+    print_csv(runs, debit_credit_partition_names());
+  } else {
+    print_table(
+        "Fig 4.1: GEM locking - routing x update strategy (buffer 200)", runs,
+        debit_credit_partition_names(), opt.full);
+  }
+  return 0;
+}

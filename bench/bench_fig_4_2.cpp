@@ -1,0 +1,43 @@
+// Fig. 4.2 — Influence of buffer size for random routing (GEM locking).
+// Buffer 200 vs 1000 pages per node, FORCE and NOFORCE.
+//
+// Paper shape: the larger buffer gives an optimal BRANCH/TELLER hit ratio in
+// the central case but loses effectiveness with more nodes (more replicated
+// caching -> more invalidations). FORCE benefits much less from the larger
+// buffer than NOFORCE, because with NOFORCE almost all B/T misses are
+// satisfied by fast page requests while FORCE pays a disk read each time.
+#include <vector>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  std::vector<RunResult> runs;
+  for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+    for (int buf : {200, 1000}) {
+      for (int n : {1, 2, 3, 5, 7, 10}) {
+        if (n > opt.max_nodes) continue;
+        SystemConfig cfg = make_debit_credit_config();
+        cfg.nodes = n;
+        cfg.coupling = Coupling::GemLocking;
+        cfg.update = upd;
+        cfg.routing = Routing::Random;
+        cfg.buffer_pages = buf;
+        cfg.warmup = opt.warmup;
+        cfg.measure = opt.measure;
+        cfg.seed = opt.seed;
+        runs.push_back(run_debit_credit(cfg));
+      }
+    }
+  }
+  if (opt.csv) {
+    print_csv(runs, debit_credit_partition_names());
+  } else {
+    print_table("Fig 4.2: influence of buffer size (random routing, GEM "
+                "locking)",
+                runs, debit_credit_partition_names(), opt.full);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 4.3 — Influence of storage allocation for BRANCH/TELLER (buffer 1000):
+// the hot B/T partition on magnetic disk vs resident in GEM, for (a) NOFORCE
+// and (b) FORCE, with both routing strategies.
+//
+// Paper shape: for NOFORCE the GEM allocation changes almost nothing (with
+// buffer 1000 there are few B/T I/Os; random-routing misses are served by
+// page requests anyway). For FORCE the GEM allocation removes both the
+// commit force-write disk delay and the miss penalty, making random routing
+// almost as fast as affinity routing and the response times flat in N.
+#include <vector>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+    std::vector<RunResult> runs;
+    for (StorageKind bt : {StorageKind::Disk, StorageKind::Gem}) {
+      for (Routing routing : {Routing::Affinity, Routing::Random}) {
+        for (int n : {1, 2, 3, 5, 7, 10}) {
+          if (n > opt.max_nodes) continue;
+          SystemConfig cfg = make_debit_credit_config();
+          cfg.nodes = n;
+          cfg.coupling = Coupling::GemLocking;
+          cfg.update = upd;
+          cfg.routing = routing;
+          cfg.buffer_pages = 1000;
+          cfg.partitions[DebitCreditIds::kBranchTeller].storage = bt;
+          cfg.warmup = opt.warmup;
+          cfg.measure = opt.measure;
+          cfg.seed = opt.seed;
+          RunResult r = run_debit_credit(cfg);
+          runs.push_back(r);
+        }
+      }
+    }
+    if (opt.csv) {
+      print_csv(runs, debit_credit_partition_names());
+    } else {
+      print_table(std::string("Fig 4.3") +
+                      (upd == UpdateStrategy::NoForce ? "a (NOFORCE)"
+                                                      : "b (FORCE)") +
+                      ": B/T on disk (first half) vs GEM (second half), "
+                      "buffer 1000",
+                  runs, debit_credit_partition_names(), opt.full);
+    }
+  }
+  return 0;
+}

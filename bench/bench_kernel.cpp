@@ -1,0 +1,59 @@
+// Microbenchmarks for the discrete-event kernel: raw event throughput,
+// coroutine process spawn/await cost, resource contention handling.
+#include <benchmark/benchmark.h>
+
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace gemsd::sim;
+
+void BM_ScheduleCallbacks(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    long hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+      s.schedule_call(i * 1e-6, [&hits] { ++hits; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_ScheduleCallbacks);
+
+Task<void> hopper(Scheduler& s, int hops) {
+  for (int i = 0; i < hops; ++i) co_await s.delay(1e-6);
+}
+
+void BM_ProcessDelayHops(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    for (int p = 0; p < 100; ++p) s.spawn(hopper(s, 100));
+    s.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_ProcessDelayHops);
+
+Task<void> contender(Scheduler& s, Resource& r) {
+  for (int i = 0; i < 20; ++i) co_await r.use(1e-5);
+  (void)s;
+}
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler s;
+    Resource r(s, 4);
+    for (int p = 0; p < 200; ++p) s.spawn(contender(s, r));
+    s.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * 20);
+}
+BENCHMARK(BM_ResourceContention);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Related-work reproduction (Section 5): the paper argues that the [Yu87]
+// central lock engine — 100-500 us per lock operation, disk-based FORCE,
+// broadcast invalidation for coherency — supports "much smaller transaction
+// rates than with GEM locking" and that its performance is "largely
+// determined by lock contention and an inefficient coherency control".
+//
+// This bench runs debit-credit/FORCE through all three coupling modes and
+// sweeps the engine's lock service time.
+#include <cstdio>
+
+#include "cc/lock_engine_protocol.hpp"
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  std::printf("\n== Related work: central lock engine [Yu87] vs GEM locking "
+              "(debit-credit, FORCE, random routing, buffer 1000) ==\n");
+  std::printf("%-22s %3s | %9s %8s %9s %9s\n", "coupling", "N", "resp[ms]",
+              "engine", "tps", "msg/tx");
+  for (int n : {2, 5, 10}) {
+    if (n > opt.max_nodes) continue;
+    // Baselines.
+    for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+      SystemConfig cfg = make_debit_credit_config();
+      cfg.nodes = n;
+      cfg.coupling = c;
+      cfg.update = UpdateStrategy::Force;
+      cfg.routing = Routing::Random;
+      cfg.buffer_pages = 1000;
+      cfg.warmup = opt.warmup;
+      cfg.measure = opt.measure;
+      cfg.seed = opt.seed;
+      const RunResult r = run_debit_credit(cfg);
+      std::printf("%-22s %3d | %9.2f %8s %9.1f %9.2f\n", to_string(c), n,
+                  r.resp_ms, "-", r.throughput, r.messages_per_txn);
+    }
+    for (double us : {100.0, 200.0, 500.0}) {
+      SystemConfig cfg = make_debit_credit_config();
+      cfg.nodes = n;
+      cfg.coupling = Coupling::LockEngine;
+      cfg.update = UpdateStrategy::Force;
+      cfg.routing = Routing::Random;
+      cfg.buffer_pages = 1000;
+      cfg.lock_engine_service = us * 1e-6;
+      cfg.warmup = opt.warmup;
+      cfg.measure = opt.measure;
+      cfg.seed = opt.seed;
+      System sys(cfg, make_debit_credit_workload(cfg));
+      const RunResult r = sys.run();
+      auto& eng = static_cast<cc::LockEngineProtocol&>(sys.protocol());
+      std::printf("ENGINE %3.0fus/op       %3d | %9.2f %7.1f%% %9.1f %9.2f\n",
+                  us, n, r.resp_ms, eng.engine_utilization() * 100,
+                  r.throughput, r.messages_per_txn);
+    }
+  }
+  std::printf("\nExpected shape: the single engine server saturates as N "
+              "grows (utilization -> 100%%, throughput flattens below the "
+              "offered load, response times blow up), earliest for the "
+              "500 us service time — while GEM locking's 2 us entries stay "
+              "below 2%% utilization at 1000 TPS.\n");
+  return 0;
+}

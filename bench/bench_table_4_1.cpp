@@ -1,0 +1,52 @@
+// Table 4.1 — parameter settings for the debit-credit experiments, as
+// actually instantiated by the simulator (paper table vs configured values).
+#include <cstdio>
+
+#include "core/config.hpp"
+
+int main() {
+  using namespace gemsd;
+  const SystemConfig c = make_debit_credit_config();
+
+  std::printf("== Table 4.1: parameter settings (debit-credit) ==\n");
+  std::printf("%-28s %s\n", "number of nodes N", "1 - 10 (per-bench sweep)");
+  std::printf("%-28s %.0f TPS per node\n", "arrival rate",
+              c.arrival_rate_per_node);
+  std::printf("%-28s\n", "DB size (per 100 TPS):");
+  for (const auto& p : c.partitions) {
+    if (p.pages_per_unit > 0) {
+      std::printf("  %-26s %lld pages, blocking factor %d%s\n", p.name.c_str(),
+                  static_cast<long long>(p.pages_per_unit), p.blocking_factor,
+                  p.name == "BRANCH/TELLER" ? " (clustered)" : "");
+    } else {
+      std::printf("  %-26s sequential file, blocking factor %d\n",
+                  p.name.c_str(), p.blocking_factor);
+    }
+  }
+  std::printf("%-28s %.0f instructions per transaction\n", "path length",
+              c.path.bot_instr + 4 * c.path.per_ref_instr + c.path.eot_instr);
+  std::printf("%-28s BOT %.0f + 4 x %.0f per record + EOT %.0f\n", "",
+              c.path.bot_instr, c.path.per_ref_instr, c.path.eot_instr);
+  std::printf("%-28s page locks for BRANCH/TELLER, ACCOUNT; none for HISTORY\n",
+              "lock mode");
+  std::printf("%-28s %d processors of %.0f MIPS each\n", "CPU capacity",
+              c.cpu.processors, c.cpu.mips);
+  std::printf("%-28s %d pages per node (1000 in large-buffer runs)\n",
+              "DB buffer size", c.buffer_pages);
+  std::printf("%-28s %d server, %.0f us/page, %.0f us/entry\n",
+              "GEM parameters", c.gem.servers, c.gem.page_access * 1e6,
+              c.gem.entry_access * 1e6);
+  std::printf("%-28s %.0f MB/s; %.0f instr per short, %.0f per long send/recv\n",
+              "communication", c.comm.bandwidth / 1e6, c.comm.short_instr,
+              c.comm.long_instr);
+  std::printf("%-28s %.0f instructions per page (GEM: %.0f)\n", "I/O overhead",
+              c.disk.io_instr, c.gem.io_instr);
+  std::printf("%-28s %.0f ms DB disks; %.0f ms log disks\n",
+              "avg disk access time", c.disk.db_disk * 1e3,
+              c.disk.log_disk * 1e3);
+  std::printf("%-28s controller %.0f ms; transfer %.1f ms/page\n",
+              "other I/O delays", c.disk.controller * 1e3,
+              c.disk.transfer * 1e3);
+  std::printf("%-28s %d per node\n", "multiprogramming level", c.mpl);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Coupling design-space explorer: how do the paper's conclusions shift when
+// the technology constants change? Sweeps GEM entry access time (how fast
+// must a coupling facility be?) and message path length (how cheap must
+// messaging get before loose coupling catches up?) — the two knobs that
+// decide the close-vs-loose trade-off.
+//
+//   ./coupling_explorer [--nodes=N] [--measure=S]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  int nodes = 8;
+  double measure = 10.0, warmup = 3.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--nodes=", 0) == 0) nodes = std::atoi(a.c_str() + 8);
+    else if (a.rfind("--measure=", 0) == 0) measure = std::atof(a.c_str() + 10);
+  }
+
+  std::printf("== How slow can GEM entries get? (GEM locking, random "
+              "routing, NOFORCE, N=%d) ==\n", nodes);
+  std::printf("%12s %10s %8s %8s\n", "entry[us]", "resp[ms]", "gem", "cpu");
+  for (double us : {2.0, 10.0, 50.0, 200.0, 1000.0}) {
+    SystemConfig cfg = make_debit_credit_config();
+    cfg.nodes = nodes;
+    cfg.coupling = Coupling::GemLocking;
+    cfg.routing = Routing::Random;
+    cfg.warmup = warmup;
+    cfg.measure = measure;
+    cfg.gem.entry_access = us * 1e-6;
+    const RunResult r = run_debit_credit(cfg);
+    std::printf("%12.0f %10.2f %7.2f%% %7.1f%%\n", us, r.resp_ms,
+                r.gem_util * 100, r.cpu_util * 100);
+  }
+  std::printf("(the paper's lock-engine comparison [Yu87] assumed 100-500 us "
+              "lock service times — visible above as GEM queueing)\n");
+
+  std::printf("\n== How cheap must messages get for PCL? (PCL, random "
+              "routing, NOFORCE, N=%d) ==\n", nodes);
+  std::printf("%14s %10s %8s %8s %8s\n", "instr/msg", "resp[ms]", "cpu",
+              "cpuMax", "tps80/nd");
+  for (double instr : {5000.0, 2500.0, 1000.0, 500.0, 100.0}) {
+    SystemConfig cfg = make_debit_credit_config();
+    cfg.nodes = nodes;
+    cfg.coupling = Coupling::PrimaryCopy;
+    cfg.routing = Routing::Random;
+    cfg.warmup = warmup;
+    cfg.measure = measure;
+    cfg.comm.short_instr = instr;
+    cfg.comm.long_instr = instr * 1.6;
+    const RunResult r = run_debit_credit(cfg);
+    std::printf("%14.0f %10.2f %7.1f%% %7.1f%% %8.1f\n", instr, r.resp_ms,
+                r.cpu_util * 100, r.cpu_util_max * 100, r.tps_per_node_at_80);
+  }
+  std::printf("(at ~100 instructions per send/receive, loose coupling's "
+              "communication penalty nearly disappears — the paper's premise "
+              "is the 5000-instruction reality of 1993 protocol stacks)\n");
+  return 0;
+}

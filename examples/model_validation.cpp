@@ -1,0 +1,50 @@
+// Simulation-methodology walkthrough: validate the discrete-event simulator
+// against closed-form queueing theory, then against the analytic
+// debit-credit baseline, and show the batch-means confidence intervals that
+// qualify every reported number.
+#include <cstdio>
+
+#include "core/analytic.hpp"
+#include "core/experiment.hpp"
+#include "sim/queueing.hpp"
+
+int main() {
+  using namespace gemsd;
+
+  std::printf("== 1. Station-level: M/M/4 CPU at the debit-credit operating "
+              "point ==\n");
+  // 100 TPS x ~10 CPU bursts per txn against 4 processors of 10 MIPS.
+  const double burst = 25e-3 / 10.0;  // ~250k instr over ~10 bursts
+  const double lam = 100.0 * 10.0;
+  std::printf("Erlang-C wait probability: %.3f\n",
+              sim::erlang_c(4, lam * burst));
+  std::printf("theoretical wait per burst: %.3f ms -> ~%.1f ms per txn\n",
+              sim::mmk_wait(lam, burst, 4) * 1e3,
+              sim::mmk_wait(lam, burst, 4) * 1e4);
+
+  std::printf("\n== 2. System-level: analytic baseline vs simulator "
+              "(affinity routing, conflict-light) ==\n");
+  std::printf("%-22s %10s %12s %10s\n", "config", "sim [ms]", "analytic[ms]",
+              "ci95 [ms]");
+  for (UpdateStrategy u : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+    for (int buf : {200, 1000}) {
+      SystemConfig cfg = make_debit_credit_config();
+      cfg.nodes = 4;
+      cfg.routing = Routing::Affinity;
+      cfg.update = u;
+      cfg.buffer_pages = buf;
+      cfg.warmup = 4;
+      cfg.measure = 16;
+      const RunResult r = run_debit_credit(cfg);
+      const auto pred = predict_debit_credit(cfg, r.hit_ratio[0]);
+      std::printf("%-10s buf=%-6d %10.2f %12.2f %10.2f\n", to_string(u), buf,
+                  r.resp_ms, pred.total * 1e3, r.resp_ci_ms);
+    }
+  }
+  std::printf("\nThe analytic model has no coherency traffic and no lock "
+              "waits, so it only matches where those are negligible — every "
+              "effect the paper studies (random routing, invalidations, "
+              "message overhead) appears as a measured delta against this "
+              "validated baseline.\n");
+  return 0;
+}

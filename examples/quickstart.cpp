@@ -1,0 +1,41 @@
+// Quickstart: simulate a 4-node closely coupled database sharing cluster
+// running the debit-credit workload, and print the headline metrics.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/system.hpp"
+
+int main() {
+  using namespace gemsd;
+
+  // Table 4.1 defaults: 100 TPS/node, 4x10 MIPS CPUs, 200-page buffers,
+  // GEM with 50us page / 2us entry access times.
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 4;
+  cfg.coupling = Coupling::GemLocking;  // global lock table in GEM
+  cfg.update = UpdateStrategy::NoForce;
+  cfg.routing = Routing::Affinity;      // branch-partitioned routing
+  cfg.warmup = 3.0;
+  cfg.measure = 10.0;
+
+  const RunResult r = run_debit_credit(cfg);
+
+  std::printf("nodes ................. %d\n", r.nodes);
+  std::printf("throughput ............ %.1f txn/s\n", r.throughput);
+  std::printf("mean response time .... %.2f ms (p95 %.1f ms)\n", r.resp_ms,
+              r.resp_p95_ms);
+  std::printf("CPU utilization ....... %.1f %%\n", r.cpu_util * 100);
+  std::printf("GEM utilization ....... %.2f %%\n", r.gem_util * 100);
+  std::printf("B/T buffer hit ratio .. %.1f %%\n", r.hit_ratio[0] * 100);
+  std::printf("HISTORY hit ratio ..... %.1f %%\n", r.hit_ratio[2] * 100);
+  std::printf("messages per txn ...... %.2f\n", r.messages_per_txn);
+  std::printf("response breakdown .... cpu %.1f + cpuWait %.1f + io %.1f + "
+              "cc %.1f ms\n",
+              r.brk_cpu_ms, r.brk_cpu_wait_ms, r.brk_io_ms, r.brk_cc_ms);
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+#include <unordered_set>
+
+#include "core/types.hpp"
+
+namespace gemsd::cc {
+
+/// Logical coherency directory: for every page that has been modified (or
+/// is otherwise tracked), its current version number, and — under NOFORCE —
+/// the node holding the only up-to-date copy not yet on permanent storage
+/// ("page owner"). For PCL with read optimization it additionally records
+/// the nodes holding a read authorization.
+///
+/// Physically this information lives in the GLT entries in GEM (close
+/// coupling) or in the GLA nodes' extended lock tables (PCL); the protocols
+/// account for the corresponding access costs. Pages never modified are
+/// implicitly at sequence number 0 with no owner (storage is current).
+class CoherencyDirectory {
+ public:
+  struct Entry {
+    SeqNo seqno = 0;
+    NodeId owner = kNoNode;  ///< kNoNode: the storage copy is current
+    std::unordered_set<NodeId> read_auth;
+  };
+
+  SeqNo seqno(PageId p) const {
+    auto it = map_.find(p);
+    return it == map_.end() ? 0 : it->second.seqno;
+  }
+  NodeId owner(PageId p) const {
+    auto it = map_.find(p);
+    return it == map_.end() ? kNoNode : it->second.owner;
+  }
+
+  /// Commit of a modification: bump the version; `new_owner` is the node
+  /// keeping the current copy (kNoNode when storage was force-written).
+  /// Returns the new sequence number.
+  SeqNo committed(PageId p, NodeId new_owner) {
+    auto& e = map_[p];
+    ++e.seqno;
+    e.owner = new_owner;
+    return e.seqno;
+  }
+
+  /// The owner wrote the page back (eviction or destage): storage is current
+  /// again, provided no newer version appeared meanwhile.
+  void written_back(PageId p, NodeId node, SeqNo seqno_written) {
+    auto it = map_.find(p);
+    if (it == map_.end()) return;
+    if (it->second.owner == node && it->second.seqno == seqno_written) {
+      it->second.owner = kNoNode;
+    }
+  }
+
+  /// Ownership migration on a direct page transfer (the requester now holds
+  /// the only current in-memory copy; see GemLockProtocol::fetch_from_owner).
+  void transfer_owner(PageId p, NodeId to) {
+    auto it = map_.find(p);
+    if (it != map_.end() && it->second.owner != kNoNode) it->second.owner = to;
+  }
+
+  // --- read authorizations (PCL read optimization) ---
+  bool has_read_auth(PageId p, NodeId n) const {
+    auto it = map_.find(p);
+    return it != map_.end() && it->second.read_auth.count(n) != 0;
+  }
+  void grant_read_auth(PageId p, NodeId n) { map_[p].read_auth.insert(n); }
+  /// Remove all authorizations except the writer's node; returns the nodes
+  /// that must be sent revocation messages.
+  std::vector<NodeId> revoke_read_auths(PageId p, NodeId except) {
+    std::vector<NodeId> out;
+    auto it = map_.find(p);
+    if (it == map_.end()) return out;
+    for (NodeId n : it->second.read_auth) {
+      if (n != except) out.push_back(n);
+    }
+    it->second.read_auth.clear();
+    return out;
+  }
+
+  /// Pages whose only current copy lives at `n` (crash recovery input).
+  std::vector<PageId> pages_owned_by(NodeId n) const {
+    std::vector<PageId> out;
+    for (const auto& [p, e] : map_) {
+      if (e.owner == n) out.push_back(p);
+    }
+    return out;
+  }
+
+  std::size_t tracked_pages() const { return map_.size(); }
+
+ private:
+  std::unordered_map<PageId, Entry> map_;
+};
+
+}  // namespace gemsd::cc

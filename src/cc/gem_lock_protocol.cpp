@@ -1,0 +1,132 @@
+#include "cc/gem_lock_protocol.hpp"
+
+namespace gemsd::cc {
+
+sim::Task<void> GemLockProtocol::glt_access(NodeId n) {
+  auto& c = cpu(n);
+  co_await c.acquire();
+  co_await c.busy(cfg().lock_instr);
+  co_await env_.gem->entry_access();  // read the lock entry into main memory
+  co_await env_.gem->entry_access();  // Compare&Swap the modified entry back
+  c.release();
+}
+
+sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
+                                                LockMode mode) {
+  metrics().lock_requests.inc();
+  const sim::SimTime t0 = sched().now();
+
+  // Refinement (Sections 2/3.2): a local lock manager holding a read
+  // authorization processes read locks without any GLT access.
+  if (cfg().gem_read_authorizations && mode == LockMode::Read &&
+      dir_.has_read_auth(p, txn.node)) {
+    metrics().lock_auth_local.inc();
+    co_await cpu(txn.node).consume(cfg().lock_instr);
+    const Logical ares = co_await lock_logical(txn, p, mode);
+    if (ares == Logical::Aborted) {
+      txn.t_cc += sched().now() - t0;
+      co_return LockOutcome{.aborted = true};
+    }
+    LockOutcome out;
+    out.seqno = dir_.seqno(p);
+    const auto cached = buf(txn.node).cached_seqno(p);
+    if (cached && *cached == out.seqno) {
+      out.source = PageSource::CacheValid;
+    } else {
+      out.invalidation = cached.has_value();
+      const NodeId ow = dir_.owner(p);
+      if (ow != kNoNode && ow != txn.node) {
+        out.source = PageSource::OwnerTransfer;
+        out.owner = ow;
+      } else if (ow == txn.node) {
+        out.source = PageSource::CacheValid;
+      } else {
+        out.source = PageSource::Storage;
+      }
+    }
+    txn.t_cc += sched().now() - t0;
+    co_return out;
+  }
+
+  metrics().lock_local.inc();  // GLT cost is location-independent
+  co_await glt_access(txn.node);
+  // A writer invalidates outstanding read authorizations (recorded in the
+  // GLT entry it just read) before the lock can be granted.
+  if (cfg().gem_read_authorizations && mode == LockMode::Write) {
+    revoke_auths_from(txn.node, p, txn.node);
+  }
+  const Logical res = co_await lock_logical(txn, p, mode);
+  if (res == Logical::Aborted) {
+    txn.t_cc += sched().now() - t0;
+    co_return LockOutcome{.aborted = true};
+  }
+  if (res == Logical::GrantedAfterWait) {
+    // The woken node re-reads the GLT entry and marks its request granted.
+    co_await glt_access(txn.node);
+  }
+
+  if (cfg().gem_read_authorizations && mode == LockMode::Read) {
+    dir_.grant_read_auth(p, txn.node);
+  }
+
+  LockOutcome out;
+  out.seqno = dir_.seqno(p);
+  const auto cached = buf(txn.node).cached_seqno(p);
+  if (cached && *cached == out.seqno) {
+    out.source = PageSource::CacheValid;
+  } else {
+    out.invalidation = cached.has_value();
+    const NodeId ow = dir_.owner(p);
+    if (ow != kNoNode && ow != txn.node) {
+      out.source = PageSource::OwnerTransfer;
+      out.owner = ow;
+    } else if (ow == txn.node) {
+      // We own the current copy (it survives at least in the write-back
+      // table); treat as a valid local copy.
+      out.source = PageSource::CacheValid;
+    } else {
+      out.source = PageSource::Storage;
+    }
+  }
+  txn.t_cc += sched().now() - t0;
+  co_return out;
+}
+
+sim::Task<void> GemLockProtocol::commit_release(node::Txn& txn) {
+  for (PageId p : txn.held) {
+    co_await glt_access(txn.node);
+    // Version/ownership updates ride in the same Compare&Swap that releases
+    // the lock entry.
+    bool dirty = false;
+    for (PageId d : txn.dirty) {
+      if (d == p) {
+        dirty = true;
+        break;
+      }
+    }
+    if (dirty) {
+      const NodeId new_owner =
+          cfg().update == UpdateStrategy::NoForce ? txn.node : kNoNode;
+      const SeqNo s = dir_.committed(p, new_owner);
+      buf(txn.node).commit_dirty(p, s, new_owner == txn.node);
+    }
+    releasing_node_ = txn.node;
+    table_.release(p, txn.id);
+    releasing_node_ = kNoNode;
+  }
+  txn.held.clear();
+  txn.dirty.clear();
+}
+
+sim::Task<void> GemLockProtocol::abort_release(node::Txn& txn) {
+  for (PageId p : txn.held) {
+    co_await glt_access(txn.node);
+    releasing_node_ = txn.node;
+    table_.release(p, txn.id);
+    releasing_node_ = kNoNode;
+  }
+  txn.held.clear();
+  txn.dirty.clear();
+}
+
+}  // namespace gemsd::cc

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "cc/protocol.hpp"
+
+namespace gemsd::cc {
+
+/// Close coupling: concurrency and coherency control through a global lock
+/// table (GLT) in Global Extended Memory (Sections 2, 3.2).
+///
+///  * Every lock and unlock is processed against the GLT: an entry read plus
+///    a Compare&Swap write-back — two synchronous entry accesses (2 µs each)
+///    with the processor held. No locality is exploited: the GLT is accessed
+///    for every lock regardless of the routing strategy.
+///  * GLT entries carry page sequence numbers (buffer invalidations are
+///    detected with no extra communication) and, under NOFORCE, the current
+///    page owner; stale or missing pages are requested from the owner via a
+///    short request / long reply message pair (~26,000 instructions), or
+///    read from storage when the permanent database is current.
+///  * Waiting lock requests are recorded in the GLT; the releasing node
+///    notifies a waiting remote node with a short message.
+class GemLockProtocol : public Protocol {
+ public:
+  explicit GemLockProtocol(Env env) : Protocol(std::move(env)) {}
+
+  sim::Task<LockOutcome> acquire(node::Txn& txn, PageId p,
+                                 LockMode mode) override;
+  sim::Task<void> commit_release(node::Txn& txn) override;
+  sim::Task<void> abort_release(node::Txn& txn) override;
+
+ private:
+  /// One GLT operation: lock-manager instructions plus entry read + C&S
+  /// write-back, processor held throughout.
+  sim::Task<void> glt_access(NodeId n);
+};
+
+}  // namespace gemsd::cc

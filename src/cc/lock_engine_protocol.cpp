@@ -1,0 +1,115 @@
+#include "cc/lock_engine_protocol.hpp"
+
+namespace gemsd::cc {
+
+sim::Task<void> LockEngineProtocol::fulfill_void(sim::OneShot<bool>* o) {
+  o->set(true);
+  co_return;
+}
+
+sim::Task<void> LockEngineProtocol::engine_round_trip(NodeId from) {
+  // Request: sender CPU + network; engine service; reply: network + CPU.
+  co_await cpu(from).consume(cfg().comm.short_instr);
+  co_await env_.net->transmit(/*long_msg=*/false);
+  co_await engine_.use(lock_service_);
+  co_await env_.net->transmit(/*long_msg=*/false);
+  co_await cpu(from).consume(cfg().comm.short_instr);
+}
+
+sim::Task<LockOutcome> LockEngineProtocol::acquire(node::Txn& txn, PageId p,
+                                                   LockMode mode) {
+  metrics().lock_requests.inc();
+  metrics().lock_remote.inc();  // every request leaves the node
+  const sim::SimTime t0 = sched().now();
+
+  co_await engine_round_trip(txn.node);
+  const Logical res = co_await lock_logical(txn, p, mode);
+  if (res == Logical::Aborted) {
+    txn.t_cc += sched().now() - t0;
+    co_return LockOutcome{.aborted = true};
+  }
+
+  LockOutcome out;
+  out.seqno = dir_.seqno(p);
+  const auto cached = buf(txn.node).cached_seqno(p);
+  if (cached && *cached == out.seqno) {
+    out.source = PageSource::CacheValid;
+  } else {
+    out.invalidation = cached.has_value();
+    // FORCE keeps the permanent database current; broadcast invalidation
+    // already dropped most stale copies.
+    out.source = PageSource::Storage;
+  }
+  txn.t_cc += sched().now() - t0;
+  co_return out;
+}
+
+sim::Task<void> LockEngineProtocol::apply_invalidation(NodeId at, PageId p) {
+  buf(at).discard(p);
+  co_return;
+}
+
+sim::Task<void> LockEngineProtocol::commit_release(node::Txn& txn) {
+  const NodeId n = txn.node;
+
+  // Version bookkeeping (pages were force-written in commit phase 1).
+  for (PageId p : txn.dirty) {
+    const SeqNo s = dir_.committed(p, kNoNode);
+    buf(n).commit_dirty(p, s, /*stays_dirty=*/false);
+  }
+
+  // Broadcast invalidation: one short message to every other node per
+  // modified page ([Yu87]'s coherency scheme — the paper calls it out as
+  // inefficient). Locks are only released once all deliveries happened.
+  if (!txn.dirty.empty() && cfg().nodes > 1) {
+    int pending = 0;
+    sim::OneShot<bool> all_delivered(sched());
+    pending = static_cast<int>(txn.dirty.size()) * (cfg().nodes - 1);
+    int* pending_ptr = &pending;
+    sim::OneShot<bool>* done = &all_delivered;
+    for (PageId p : txn.dirty) {
+      for (NodeId other = 0; other < cfg().nodes; ++other) {
+        if (other == n) continue;
+        sched().spawn(env_.comm->send(
+            n, other, /*long_msg=*/false,
+            [](LockEngineProtocol* self, NodeId at, PageId page, int* pend,
+               sim::OneShot<bool>* d) -> sim::Task<void> {
+              co_await self->apply_invalidation(at, page);
+              if (--*pend == 0) d->set(true);
+            }(this, other, p, pending_ptr, done)));
+      }
+    }
+    co_await all_delivered.wait();
+  }
+
+  // One engine visit covering the transaction's unlock operations.
+  if (!txn.held.empty()) {
+    co_await cpu(n).consume(cfg().comm.short_instr);
+    co_await env_.net->transmit(false);
+    co_await engine_.use(lock_service_ *
+                         static_cast<double>(txn.held.size()));
+    co_await env_.net->transmit(false);
+    co_await cpu(n).consume(cfg().comm.short_instr);
+  }
+  releasing_node_ = kNoNode;  // engine grants wake waiters directly
+  for (PageId p : txn.held) table_.release(p, txn.id);
+  txn.held.clear();
+  txn.dirty.clear();
+}
+
+sim::Task<void> LockEngineProtocol::abort_release(node::Txn& txn) {
+  const NodeId n = txn.node;
+  if (!txn.held.empty()) {
+    co_await cpu(n).consume(cfg().comm.short_instr);
+    co_await env_.net->transmit(false);
+    co_await engine_.use(lock_service_ *
+                         static_cast<double>(txn.held.size()));
+    co_await env_.net->transmit(false);
+    co_await cpu(n).consume(cfg().comm.short_instr);
+  }
+  for (PageId p : txn.held) table_.release(p, txn.id);
+  txn.held.clear();
+  txn.dirty.clear();
+}
+
+}  // namespace gemsd::cc

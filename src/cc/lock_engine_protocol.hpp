@@ -1,0 +1,47 @@
+#pragma once
+
+#include "cc/protocol.hpp"
+#include "sim/resource.hpp"
+
+namespace gemsd::cc {
+
+/// The [Yu87] coupling alternative discussed in the paper's Related Work:
+/// a dedicated central *lock engine* — special-purpose hardware serving all
+/// lock/unlock requests with a fixed service time (100-500 µs per operation
+/// in [Yu87], vs 2 µs GLT entry accesses for GEM) — combined with the
+/// coherency scheme that study assumed: disk-based FORCE plus a *broadcast
+/// invalidation* message to every other node at each update commit.
+///
+/// Cost model per lock operation: short request message (sender CPU +
+/// network), engine service (single dedicated server — the contention point
+/// the paper highlights), short reply (network + receiver CPU). The engine
+/// itself consumes no node CPU. Update commits broadcast N-1 short
+/// invalidation messages and wait for their delivery before releasing locks.
+class LockEngineProtocol : public Protocol {
+ public:
+  LockEngineProtocol(Env env, sim::SimTime lock_service)
+      : Protocol(std::move(env)),
+        lock_service_(lock_service),
+        engine_(sched(), 1, "lock-engine") {}
+
+  sim::Task<LockOutcome> acquire(node::Txn& txn, PageId p,
+                                 LockMode mode) override;
+  sim::Task<void> commit_release(node::Txn& txn) override;
+  sim::Task<void> abort_release(node::Txn& txn) override;
+
+  double engine_utilization() const { return engine_.utilization(); }
+  std::uint64_t engine_ops() const { return engine_.completions(); }
+
+ private:
+  /// One round trip to the engine: request message, engine service,
+  /// reply message. `op` runs at the engine between service and reply.
+  sim::Task<void> engine_round_trip(NodeId from);
+  /// Receiver-side invalidation handler: drop the cached copy.
+  sim::Task<void> apply_invalidation(NodeId at, PageId p);
+  static sim::Task<void> fulfill_void(sim::OneShot<bool>* o);
+
+  sim::SimTime lock_service_;
+  sim::Resource engine_;
+};
+
+}  // namespace gemsd::cc

@@ -1,0 +1,210 @@
+#include "cc/lock_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace gemsd::cc {
+
+namespace {
+
+bool compatible_with_granted(const std::vector<LockTable::Request>& q,
+                             TxnId txn, LockMode mode) {
+  for (const auto& r : q) {
+    if (!r.granted || r.txn == txn) continue;
+    if (!lock_compatible(r.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool any_waiter_ahead(const std::vector<LockTable::Request>& q, TxnId txn) {
+  // FIFO fairness: a new request must queue behind existing waiters
+  // (upgrades are exempt — they jump the queue, see acquire()).
+  for (const auto& r : q) {
+    if (!r.granted && r.txn != txn) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LockTable::Outcome LockTable::acquire(PageId page, TxnId txn, NodeId node,
+                                      LockMode mode, GrantFn on_grant) {
+  requests_.inc();
+  auto& st = pages_[page];
+
+  // Upgrade detection: the txn already holds a weaker lock on the page
+  // (Read -> Update, Read -> Write, or Update -> Write).
+  bool is_upgrade = false;
+  for (auto& r : st.q) {
+    if (r.txn == txn && r.granted) {
+      assert(lock_strength(mode) > lock_strength(r.mode) &&
+             "re-acquiring a held lock (callers must track held locks)");
+      is_upgrade = true;
+      break;
+    }
+  }
+
+  if (is_upgrade) {
+    // Grant in place iff the target mode is compatible with every OTHER
+    // granted holder (e.g. U->W needs the readers to drain; R->U only
+    // another updater blocks).
+    bool clear = true;
+    for (const auto& r : st.q) {
+      if (r.granted && r.txn != txn && !lock_compatible(r.mode, mode)) {
+        clear = false;
+        break;
+      }
+    }
+    if (clear) {
+      for (auto& r : st.q) {
+        if (r.txn == txn && r.granted) r.mode = mode;
+      }
+      return Outcome::Granted;
+    }
+    conflicts_.inc();
+    // Upgrades wait at the head of the queue (before ordinary waiters).
+    Request req{txn, node, mode, false, true, std::move(on_grant)};
+    auto it = std::find_if(st.q.begin(), st.q.end(),
+                           [](const Request& r) { return !r.granted; });
+    st.q.insert(it, std::move(req));
+    waiting_[txn] = page;
+    return Outcome::Waiting;
+  }
+
+  if (compatible_with_granted(st.q, txn, mode) &&
+      !any_waiter_ahead(st.q, txn)) {
+    st.q.push_back(Request{txn, node, mode, true, false, {}});
+    return Outcome::Granted;
+  }
+  conflicts_.inc();
+  st.q.push_back(Request{txn, node, mode, false, false, std::move(on_grant)});
+  waiting_[txn] = page;
+  return Outcome::Waiting;
+}
+
+void LockTable::promote(PageState& st) {
+  // Repeatedly grant the first waiter while compatible. Upgrades sit at the
+  // front and are granted when their holder is the sole remaining one.
+  for (;;) {
+    auto it = std::find_if(st.q.begin(), st.q.end(),
+                           [](const Request& r) { return !r.granted; });
+    if (it == st.q.end()) return;
+    if (it->upgrade) {
+      bool clear = true;
+      for (const auto& r : st.q) {
+        if (r.granted && r.txn != it->txn &&
+            !lock_compatible(r.mode, it->mode)) {
+          clear = false;
+          break;
+        }
+      }
+      if (!clear) return;
+      // Convert the existing granted entry and drop the waiter.
+      const LockMode target = it->mode;
+      for (auto& r : st.q) {
+        if (r.granted && r.txn == it->txn) r.mode = target;
+      }
+      auto fn = std::move(it->on_grant);
+      const TxnId t = it->txn;
+      st.q.erase(it);
+      waiting_.erase(t);
+      if (fn) fn();
+      continue;
+    }
+    if (!compatible_with_granted(st.q, it->txn, it->mode)) return;
+    it->granted = true;
+    auto fn = std::move(it->on_grant);
+    waiting_.erase(it->txn);
+    if (fn) fn();
+  }
+}
+
+void LockTable::release(PageId page, TxnId txn) {
+  auto pit = pages_.find(page);
+  if (pit == pages_.end()) return;
+  auto& st = pit->second;
+  st.q.erase(std::remove_if(st.q.begin(), st.q.end(),
+                            [&](const Request& r) {
+                              return r.txn == txn && r.granted;
+                            }),
+             st.q.end());
+  promote(st);
+  if (st.q.empty()) pages_.erase(pit);
+}
+
+bool LockTable::cancel_wait(PageId page, TxnId txn) {
+  auto pit = pages_.find(page);
+  if (pit == pages_.end()) return false;
+  auto& st = pit->second;
+  const auto before = st.q.size();
+  st.q.erase(std::remove_if(st.q.begin(), st.q.end(),
+                            [&](const Request& r) {
+                              return r.txn == txn && !r.granted;
+                            }),
+             st.q.end());
+  const bool removed = st.q.size() != before;
+  if (removed) waiting_.erase(txn);
+  promote(st);
+  if (st.q.empty()) pages_.erase(pit);
+  return removed;
+}
+
+bool LockTable::holds(PageId page, TxnId txn, LockMode at_least) const {
+  auto pit = pages_.find(page);
+  if (pit == pages_.end()) return false;
+  for (const auto& r : pit->second.q) {
+    if (r.txn == txn && r.granted) return lock_covers(r.mode, at_least);
+  }
+  return false;
+}
+
+std::optional<PageId> LockTable::waiting_on(TxnId txn) const {
+  auto it = waiting_.find(txn);
+  if (it == waiting_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TxnId> LockTable::blockers(PageId page, TxnId txn) const {
+  std::vector<TxnId> out;
+  auto pit = pages_.find(page);
+  if (pit == pages_.end()) return out;
+  const auto& q = pit->second.q;
+  // Find our waiting request, collecting everything ahead that blocks it.
+  auto self = std::find_if(q.begin(), q.end(), [&](const Request& r) {
+    return r.txn == txn && !r.granted;
+  });
+  if (self == q.end()) return out;
+  for (auto it = q.begin(); it != self; ++it) {
+    if (it->txn == txn) continue;
+    if (it->granted) {
+      if (!lock_compatible(it->mode, self->mode)) out.push_back(it->txn);
+    } else {
+      // Earlier waiter: conservatively assumed to be ahead of us.
+      out.push_back(it->txn);
+    }
+  }
+  return out;
+}
+
+bool creates_deadlock(const LockTable& lt, TxnId start) {
+  // DFS through the wait-for relation starting from `start`.
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack{start};
+  bool first = true;
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (!first) {
+      if (t == start) return true;
+      if (!visited.insert(t).second) continue;
+    }
+    first = false;
+    const auto page = lt.waiting_on(t);
+    if (!page) continue;
+    for (TxnId b : lt.blockers(*page, t)) stack.push_back(b);
+  }
+  return false;
+}
+
+}  // namespace gemsd::cc

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+
+namespace gemsd::cc {
+
+/// Logical lock table implementing strict two-phase page locking with
+/// read/write modes, FIFO waiting, and read->write upgrades. Both protocols
+/// share this table for *correctness*; they differ in the timing/messaging
+/// they model around each logical operation (GLT entry accesses in GEM vs
+/// request/grant messages to the GLA node).
+///
+/// Waiting requests carry an on_grant callback, invoked (synchronously,
+/// during the releasing operation) when the request becomes granted; the
+/// callback must hand control back through the event queue.
+class LockTable {
+ public:
+  enum class Outcome { Granted, Waiting };
+  using GrantFn = std::function<void()>;
+
+  struct Request {
+    TxnId txn;
+    NodeId node;
+    LockMode mode;
+    bool granted = false;
+    bool upgrade = false;  ///< waiting to convert Read -> Write
+    GrantFn on_grant;
+  };
+
+  /// Request a lock. Must not be called when the transaction already holds a
+  /// lock of `mode` or stronger on the page (callers track held locks).
+  /// Holding Read and requesting Write is an upgrade.
+  Outcome acquire(PageId page, TxnId txn, NodeId node, LockMode mode,
+                  GrantFn on_grant);
+
+  /// Release this transaction's lock on `page`; grants newly compatible
+  /// waiters (firing their callbacks).
+  void release(PageId page, TxnId txn);
+
+  /// Remove a *waiting* request (deadlock-victim cleanup). Grants whatever
+  /// becomes compatible. Returns true if a waiter was removed.
+  bool cancel_wait(PageId page, TxnId txn);
+
+  bool holds(PageId page, TxnId txn, LockMode at_least) const;
+
+  /// The page a transaction currently waits for, if any.
+  std::optional<PageId> waiting_on(TxnId txn) const;
+
+  /// Transactions that block a waiting request of `txn` on `page`:
+  /// incompatible granted holders plus incompatible earlier waiters.
+  std::vector<TxnId> blockers(PageId page, TxnId txn) const;
+
+  std::size_t locked_pages() const { return pages_.size(); }
+  std::uint64_t requests() const { return requests_.value(); }
+  std::uint64_t conflicts() const { return conflicts_.value(); }
+  void reset_stats() {
+    requests_.reset();
+    conflicts_.reset();
+  }
+
+ private:
+  struct PageState {
+    std::vector<Request> q;  // granted entries first, then FIFO waiters
+  };
+
+  /// Grant whatever is now grantable at the head of the wait queue.
+  void promote(PageState& st);
+
+  std::unordered_map<PageId, PageState> pages_;
+  std::unordered_map<TxnId, PageId> waiting_;
+  sim::Counter requests_, conflicts_;
+};
+
+/// Deadlock detection over the logical lock table: does txn (which just
+/// started waiting) close a cycle in the wait-for graph? Conservative FIFO
+/// semantics: a waiter waits for every incompatible request ahead of it.
+bool creates_deadlock(const LockTable& lt, TxnId txn);
+
+}  // namespace gemsd::cc

@@ -1,0 +1,142 @@
+#include "cc/protocol.hpp"
+
+namespace gemsd::cc {
+
+sim::Task<void> Protocol::fulfill_bool(sim::OneShot<bool>* o, bool v) {
+  o->set(v);
+  co_return;
+}
+
+sim::Task<void> Protocol::noop_handler() { co_return; }
+
+void Protocol::revoke_auths_from(NodeId sender, PageId p, NodeId except) {
+  for (NodeId a : dir_.revoke_read_auths(p, except)) {
+    metrics().revocations.inc();
+    if (a == sender) continue;
+    sched().spawn(env_.comm->send(sender, a, /*long_msg=*/false,
+                                  noop_handler()));
+  }
+}
+
+sim::Task<Protocol::Logical> Protocol::lock_logical(node::Txn& txn, PageId p,
+                                                    LockMode mode) {
+  sim::OneShot<bool> granted(sched());
+  const auto res = table_.acquire(
+      p, txn.id, txn.node, mode,
+      [this, granted_ptr = &granted, waiter_node = txn.node] {
+        // Fired during someone's release processing. A waiter on another
+        // node than the releasing context learns of the grant through a
+        // short notification message; a local waiter is resumed directly.
+        if (releasing_node_ == kNoNode || releasing_node_ == waiter_node) {
+          granted_ptr->set(true);
+        } else {
+          sched().spawn(env_.comm->send(releasing_node_, waiter_node,
+                                        /*long_msg=*/false,
+                                        fulfill_bool(granted_ptr, true)));
+        }
+      });
+  if (res == LockTable::Outcome::Granted) {
+    if (!txn.holds_page(p)) txn.held.push_back(p);
+    co_return Logical::Granted;
+  }
+  // Would waiting close a cycle? Then this transaction is the victim.
+  if (creates_deadlock(table_, txn.id)) {
+    table_.cancel_wait(p, txn.id);
+    metrics().deadlocks.inc();
+    co_return Logical::Aborted;
+  }
+  metrics().lock_waits.inc();
+  const sim::SimTime t0 = sched().now();
+  co_await granted.wait();
+  metrics().lock_wait_time.add(sched().now() - t0);
+  if (!txn.holds_page(p)) txn.held.push_back(p);
+  co_return Logical::GrantedAfterWait;
+}
+
+sim::Task<void> Protocol::provision(node::Txn& txn, PageId p,
+                                    const LockOutcome& lk) {
+  auto& bm = buf(txn.node);
+  switch (lk.source) {
+    case PageSource::CacheValid:
+      if (bm.has_copy(p)) {
+        bm.hit(p);
+      } else {
+        // The copy was replaced while the request waited; re-decide from the
+        // directory (rare).
+        bm.count_miss(p, false);
+        const NodeId ow = dir_.owner(p);
+        if (ow != kNoNode && ow != txn.node) {
+          co_await fetch_from_owner(txn, p, lk.seqno, ow,
+                                    /*transfer_ownership=*/true);
+        } else {
+          co_await bm.read_from_storage(&txn, p, lk.seqno, /*count=*/false);
+        }
+      }
+      break;
+    case PageSource::Delivered:
+      // Page arrived with the grant message (PCL); the GLA keeps ownership.
+      bm.count_miss(p, lk.invalidation);
+      bm.install(p, lk.seqno, /*dirty=*/false);
+      break;
+    case PageSource::OwnerTransfer:
+      bm.count_miss(p, lk.invalidation);
+      co_await fetch_from_owner(txn, p, lk.seqno, lk.owner,
+                                /*transfer_ownership=*/true);
+      break;
+    case PageSource::Storage:
+      bm.count_miss(p, lk.invalidation);
+      co_await bm.read_from_storage(&txn, p, lk.seqno, /*count=*/false);
+      break;
+  }
+}
+
+sim::Task<void> Protocol::serve_page_request(PageId p, NodeId owner,
+                                             NodeId requester,
+                                             bool transfer_ownership,
+                                             sim::OneShot<bool>* got) {
+  (void)transfer_ownership;  // ownership migrates at requester install time
+  auto& ob = buf(owner);
+  if (ob.has_copy(p)) {
+    co_await env_.comm->send(owner, requester, /*long_msg=*/true,
+                             fulfill_bool(got, true));
+  } else {
+    // The owner wrote the page back concurrently: storage is current.
+    metrics().page_request_misses.inc();
+    co_await env_.comm->send(owner, requester, /*long_msg=*/false,
+                             fulfill_bool(got, false));
+  }
+}
+
+sim::Task<void> Protocol::fetch_from_owner(node::Txn& txn, PageId p,
+                                           SeqNo seqno, NodeId owner,
+                                           bool transfer_ownership) {
+  metrics().page_requests.inc();
+  const sim::SimTime t0 = sched().now();
+  const NodeId me = txn.node;
+  sim::OneShot<bool> got(sched());
+
+  co_await env_.comm->send(
+      me, owner, /*long_msg=*/false,
+      serve_page_request(p, owner, me, transfer_ownership, &got));
+
+  const bool have_page = co_await got.wait();
+  metrics().page_request_delay.add(sched().now() - t0);
+  txn.t_cc += sched().now() - t0;
+  if (have_page) {
+    buf(me).install(p, seqno, /*dirty=*/transfer_ownership);
+    if (transfer_ownership) {
+      // Ownership migrates only NOW, when the requester actually holds the
+      // copy. (Transferring at serve time opens a window in which the
+      // directory names a node whose copy is still the stale one — other
+      // readers on that node would then wrongly trust their cached pages.)
+      // The previous owner's copy stays cached but becomes clean; it is no
+      // longer that node's write-back responsibility.
+      dir_.transfer_owner(p, me);
+      buf(owner).shipped_copy(p);
+    }
+  } else {
+    co_await buf(me).read_from_storage(&txn, p, seqno, /*count=*/false);
+  }
+}
+
+}  // namespace gemsd::cc

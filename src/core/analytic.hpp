@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/config.hpp"
+
+namespace gemsd {
+
+/// Back-of-the-envelope analytic model of the debit-credit response time for
+/// a *conflict-free, affinity-routed* configuration — the case where simple
+/// queueing theory applies (every station is close to M/M/k, no coherency
+/// traffic). Used to validate the simulator: at affinity routing the DES
+/// results must land near these predictions; every deviation the paper
+/// studies (random routing, buffer invalidations, message overhead) then
+/// shows up as a measured *delta* against this baseline.
+struct AnalyticPrediction {
+  double cpu_service = 0;    ///< pure instruction execution time
+  double cpu_wait = 0;       ///< M/M/k queueing at the node CPU
+  double account_read = 0;   ///< expected ACCOUNT miss read time
+  double bt_read = 0;        ///< expected BRANCH/TELLER miss read time
+  double commit_io = 0;      ///< log write (NOFORCE) / parallel force-writes
+  double total = 0;
+};
+
+/// Predict the mean response time for the given config, assuming affinity
+/// routing and steady hit ratios: ACCOUNT never hits, HISTORY hits 95 %,
+/// BRANCH/TELLER hits with probability `bt_hit_ratio` (measured or assumed;
+/// the central-case values are ~0.71 at 200 frames and ~1.0 at 1000).
+AnalyticPrediction predict_debit_credit(const SystemConfig& cfg,
+                                        double bt_hit_ratio);
+
+}  // namespace gemsd

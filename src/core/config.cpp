@@ -1,0 +1,61 @@
+#include "core/config.hpp"
+
+namespace gemsd {
+
+const char* to_string(UpdateStrategy s) {
+  return s == UpdateStrategy::Force ? "FORCE" : "NOFORCE";
+}
+const char* to_string(Routing r) {
+  return r == Routing::Random ? "random" : "affinity";
+}
+const char* to_string(Coupling c) {
+  switch (c) {
+    case Coupling::GemLocking: return "GEM";
+    case Coupling::PrimaryCopy: return "PCL";
+    case Coupling::LockEngine: return "ENGINE";
+  }
+  return "?";
+}
+const char* to_string(StorageKind k) {
+  switch (k) {
+    case StorageKind::Disk: return "disk";
+    case StorageKind::DiskVolatileCache: return "disk+vcache";
+    case StorageKind::DiskNvCache: return "disk+nvcache";
+    case StorageKind::DiskGemCache: return "disk+gemcache";
+    case StorageKind::Gem: return "GEM";
+  }
+  return "?";
+}
+
+SystemConfig make_debit_credit_config() {
+  SystemConfig c;
+  c.partitions.resize(3);
+
+  auto& bt = c.partitions[DebitCreditIds::kBranchTeller];
+  bt.name = "BRANCH/TELLER";
+  bt.pages_per_unit = DebitCreditIds::kBranchesPerUnit;  // clustered: 100 pages
+  bt.blocking_factor = 1 + DebitCreditIds::kTellersPerBranch;
+  bt.locked = true;
+  bt.disks_per_unit = 6;
+  bt.disk_cache_pages = 2000;  // Fig 4.4: holds all B/T pages up to N=10
+
+  auto& acc = c.partitions[DebitCreditIds::kAccount];
+  acc.name = "ACCOUNT";
+  acc.pages_per_unit = DebitCreditIds::kBranchesPerUnit *
+                       DebitCreditIds::kAccountsPerBranch /
+                       DebitCreditIds::kAccountsPerPage;  // 1,000,000
+  acc.blocking_factor = static_cast<int>(DebitCreditIds::kAccountsPerPage);
+  acc.locked = true;
+  acc.disks_per_unit = 8;
+
+  auto& his = c.partitions[DebitCreditIds::kHistory];
+  his.name = "HISTORY";
+  his.pages_per_unit = 0;  // unbounded sequential file
+  his.blocking_factor = 20;
+  his.locked = false;  // end-of-file latch instead of page locks
+  his.disks_per_unit = 6;
+
+  return c;
+}
+
+}  // namespace gemsd

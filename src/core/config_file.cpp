@@ -1,0 +1,206 @@
+#include "core/config_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gemsd {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("run spec, line " + std::to_string(line) + ": " +
+                           what);
+}
+
+bool parse_bool(const std::string& v, int line) {
+  const std::string l = lower(v);
+  if (l == "true" || l == "yes" || l == "on" || l == "1") return true;
+  if (l == "false" || l == "no" || l == "off" || l == "0") return false;
+  fail(line, "expected a boolean, got '" + v + "'");
+}
+
+StorageKind parse_storage(const std::string& v, int line) {
+  const std::string l = lower(v);
+  if (l == "disk") return StorageKind::Disk;
+  if (l == "vcache") return StorageKind::DiskVolatileCache;
+  if (l == "nvcache") return StorageKind::DiskNvCache;
+  if (l == "gemcache") return StorageKind::DiskGemCache;
+  if (l == "gem") return StorageKind::Gem;
+  fail(line, "unknown storage kind '" + v + "'");
+}
+
+}  // namespace
+
+RunSpec parse_run_spec(std::istream& in) {
+  RunSpec spec;
+  // Workload defaults resolve at the end; partition overrides are applied
+  // after the base config is built.
+  struct Override {
+    std::string partition;
+    StorageKind storage;
+    std::int64_t cache_pages = 0;
+    bool has_cache_pages = false;
+  };
+  std::vector<Override> overrides;
+
+  std::string section;
+  std::string line_s;
+  int line = 0;
+  // Raw key/value capture for [system]; applied onto the config below.
+  while (std::getline(in, line_s)) {
+    ++line;
+    std::string s = trim(line_s);
+    if (s.empty() || s[0] == '#' || s[0] == ';') continue;
+    if (s.front() == '[') {
+      if (s.back() != ']') fail(line, "unterminated section header");
+      section = s.substr(1, s.size() - 2);
+      continue;
+    }
+    const auto eq = s.find('=');
+    if (eq == std::string::npos) fail(line, "expected key = value");
+    const std::string key = lower(trim(s.substr(0, eq)));
+    const std::string val = trim(s.substr(eq + 1));
+
+    if (section == "workload") {
+      if (key == "kind") {
+        const std::string k = lower(val);
+        if (k == "debit_credit" || k == "debit-credit") {
+          spec.kind = RunSpec::Kind::DebitCredit;
+        } else if (k == "trace") {
+          spec.kind = RunSpec::Kind::Trace;
+        } else {
+          fail(line, "unknown workload kind '" + val + "'");
+        }
+      } else if (key == "trace_file") {
+        spec.trace_file = val;
+      } else if (key == "trace_txns") {
+        spec.trace_txns = static_cast<std::size_t>(std::stoll(val));
+      } else {
+        fail(line, "unknown [workload] key '" + key + "'");
+      }
+      continue;
+    }
+    if (section.rfind("partition.", 0) == 0) {
+      const std::string pname = section.substr(10);
+      if (key == "storage") {
+        overrides.push_back({pname, parse_storage(val, line), 0, false});
+      } else if (key == "cache_pages") {
+        if (overrides.empty() || overrides.back().partition != pname) {
+          fail(line, "cache_pages must follow a storage key");
+        }
+        overrides.back().cache_pages = std::stoll(val);
+        overrides.back().has_cache_pages = true;
+      } else {
+        fail(line, "unknown [partition] key '" + key + "'");
+      }
+      continue;
+    }
+    if (section != "system" && !section.empty()) {
+      fail(line, "unknown section [" + section + "]");
+    }
+    auto& c = spec.cfg;
+    if (key == "nodes") c.nodes = std::stoi(val);
+    else if (key == "tps") c.arrival_rate_per_node = std::stod(val);
+    else if (key == "buffer") c.buffer_pages = std::stoi(val);
+    else if (key == "mpl") c.mpl = std::stoi(val);
+    else if (key == "warmup") c.warmup = std::stod(val);
+    else if (key == "measure") c.measure = std::stod(val);
+    else if (key == "seed") c.seed = static_cast<std::uint64_t>(std::stoll(val));
+    else if (key == "group_commit") c.log_group_commit = parse_bool(val, line);
+    else if (key == "pcl_read_opt") c.pcl_read_optimization = parse_bool(val, line);
+    else if (key == "gem_read_auth") c.gem_read_authorizations = parse_bool(val, line);
+    else if (key == "coupling") {
+      const std::string v = lower(val);
+      if (v == "gem") c.coupling = Coupling::GemLocking;
+      else if (v == "pcl") c.coupling = Coupling::PrimaryCopy;
+      else if (v == "engine") c.coupling = Coupling::LockEngine;
+      else fail(line, "unknown coupling '" + val + "'");
+    } else if (key == "update") {
+      const std::string v = lower(val);
+      if (v == "force") c.update = UpdateStrategy::Force;
+      else if (v == "noforce") c.update = UpdateStrategy::NoForce;
+      else fail(line, "unknown update strategy '" + val + "'");
+    } else if (key == "routing") {
+      const std::string v = lower(val);
+      if (v == "affinity") c.routing = Routing::Affinity;
+      else if (v == "random") c.routing = Routing::Random;
+      else fail(line, "unknown routing '" + val + "'");
+    } else if (key == "log") {
+      c.log_storage = parse_storage(val, line) == StorageKind::Gem
+                          ? StorageKind::Gem
+                          : StorageKind::Disk;
+    } else if (key == "transport") {
+      const std::string v = lower(val);
+      if (v == "network") c.comm.transport = MsgTransport::Network;
+      else if (v == "gem") c.comm.transport = MsgTransport::GemStore;
+      else fail(line, "unknown transport '" + val + "'");
+    } else {
+      fail(line, "unknown [system] key '" + key + "'");
+    }
+  }
+
+  // Build the base schema for the chosen workload, preserving the parsed
+  // system knobs, then apply partition overrides.
+  SystemConfig parsed = spec.cfg;
+  SystemConfig base = make_debit_credit_config();
+  base.nodes = parsed.nodes;
+  base.arrival_rate_per_node =
+      parsed.arrival_rate_per_node;
+  base.coupling = parsed.coupling;
+  base.update = parsed.update;
+  base.routing = parsed.routing;
+  base.mpl = parsed.mpl;
+  base.buffer_pages = parsed.buffer_pages;
+  base.log_storage = parsed.log_storage;
+  base.log_group_commit = parsed.log_group_commit;
+  base.pcl_read_optimization = parsed.pcl_read_optimization;
+  base.gem_read_authorizations = parsed.gem_read_authorizations;
+  base.comm.transport = parsed.comm.transport;
+  base.warmup = parsed.warmup;
+  base.measure = parsed.measure;
+  base.seed = parsed.seed;
+  spec.cfg = base;
+  // Trace runs rebuild partitions later (they depend on the trace); only
+  // debit-credit accepts per-partition overrides here.
+  for (const auto& ov : overrides) {
+    bool found = false;
+    for (auto& pc : spec.cfg.partitions) {
+      if (pc.name == ov.partition) {
+        pc.storage = ov.storage;
+        if (ov.has_cache_pages) {
+          pc.disk_cache_pages = ov.cache_pages;
+          pc.gem_cache_pages = ov.cache_pages;
+        }
+        found = true;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("run spec: unknown partition '" +
+                               ov.partition + "'");
+    }
+  }
+  return spec;
+}
+
+RunSpec parse_run_spec_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open run spec: " + path);
+  return parse_run_spec(f);
+}
+
+}  // namespace gemsd

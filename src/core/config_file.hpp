@@ -1,0 +1,52 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace gemsd {
+
+/// A complete experiment specification parsed from a small INI-style file —
+/// the no-C++-required entry point (tools/gemsd_run):
+///
+/// ```ini
+/// # lines starting with # are comments
+/// [system]
+/// nodes      = 4
+/// coupling   = gem          # gem | pcl | engine
+/// update     = noforce      # noforce | force
+/// routing    = affinity     # affinity | random
+/// tps        = 100
+/// buffer     = 200
+/// warmup     = 5
+/// measure    = 20
+/// seed       = 42
+/// log        = disk         # disk | gem
+/// group_commit = false
+/// pcl_read_opt = false
+/// gem_read_auth = false
+/// transport  = network      # network | gem
+///
+/// [workload]
+/// kind = debit_credit       # debit_credit | trace
+/// trace_file =              # empty => synthetic trace
+/// trace_txns = 17500
+///
+/// [partition.BRANCH/TELLER] # storage overrides by partition name
+/// storage = gem             # disk | vcache | nvcache | gemcache | gem
+/// ```
+struct RunSpec {
+  enum class Kind { DebitCredit, Trace };
+  Kind kind = Kind::DebitCredit;
+  SystemConfig cfg;           ///< fully resolved configuration
+  std::string trace_file;     ///< optional trace to load
+  std::size_t trace_txns = 17500;
+};
+
+/// Parse a spec; throws std::runtime_error with a line-numbered message on
+/// malformed input or unknown keys/values.
+RunSpec parse_run_spec(std::istream& in);
+RunSpec parse_run_spec_file(const std::string& path);
+
+}  // namespace gemsd

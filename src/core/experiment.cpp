@@ -1,0 +1,92 @@
+#include "core/experiment.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gemsd {
+
+System::Workload make_trace_workload(const SystemConfig& cfg,
+                                     const workload::Trace& trace) {
+  System::Workload wl;
+  wl.gen = std::make_unique<workload::TraceWorkload>(trace);
+  const auto profile = workload::profile_trace(trace);
+  const auto share = workload::make_affinity_routing(profile, cfg.nodes);
+  if (cfg.routing == Routing::Random) {
+    wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
+  } else {
+    wl.router = std::make_unique<workload::TableRouter>(share);
+  }
+  // GLA allocation is coordinated with the affinity routing in both cases
+  // (the paper computes the GLA from the reference distribution heuristics).
+  wl.gla = std::make_unique<workload::FileGlaMap>(
+      workload::make_gla_assignment(profile, share, cfg.nodes));
+  return wl;
+}
+
+SystemConfig make_trace_config(const workload::Trace& trace) {
+  SystemConfig c;
+  c.arrival_rate_per_node = 50.0;
+  c.buffer_pages = 1000;
+  c.update = UpdateStrategy::NoForce;
+  c.pcl_read_optimization = true;
+  // Trace transactions are ~20x larger than debit-credit; keep the input
+  // queue from becoming the bottleneck ("MPL high enough to avoid queuing
+  // delays at the transaction manager").
+  c.mpl = 400;
+  // CPU path lengths sized so a ~57-reference transaction costs ~350k
+  // instructions (the paper kept CPU and device characteristics as for
+  // debit-credit; GEM runs showed ~45 % utilization at 50 TPS/node).
+  c.path.bot_instr = 25000;
+  c.path.per_ref_instr = 4200;
+  c.path.eot_instr = 25000;
+  c.partitions.resize(static_cast<std::size_t>(trace.num_files));
+  for (int f = 0; f < trace.num_files; ++f) {
+    auto& pc = c.partitions[static_cast<std::size_t>(f)];
+    pc.name = "F" + std::to_string(f);
+    pc.pages_per_unit = 66000;  // upper bound; page ids come from the trace
+    pc.blocking_factor = 1;
+    pc.locked = true;
+    // The trace DB size is constant, but the paper gives every configuration
+    // "a sufficient number of disks to avoid I/O bottlenecks" — the spindle
+    // count scales with the offered throughput (nodes), not the data volume.
+    pc.scale_with_nodes = true;
+    pc.disks_per_unit = 12;
+    pc.storage = StorageKind::Disk;
+  }
+  return c;
+}
+
+RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace) {
+  System sys(cfg, make_trace_workload(cfg, trace));
+  return sys.run();
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      o.warmup = 2.0;
+      o.measure = 6.0;
+    } else if (std::strncmp(a, "--measure=", 10) == 0) {
+      o.measure = std::atof(a + 10);
+    } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+      o.warmup = std::atof(a + 9);
+    } else if (std::strncmp(a, "--max-nodes=", 12) == 0) {
+      o.max_nodes = std::atoi(a + 12);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+    } else if (std::strcmp(a, "--full") == 0) {
+      o.full = true;
+    } else if (std::strcmp(a, "--csv") == 0) {
+      o.csv = true;
+    }
+  }
+  return o;
+}
+
+std::vector<std::string> debit_credit_partition_names() {
+  return {"B/T", "ACCT", "HIST"};
+}
+
+}  // namespace gemsd

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "core/report.hpp"
+#include "core/system.hpp"
+#include "workload/trace.hpp"
+
+namespace gemsd {
+
+/// Build a trace-driven workload (replay in original order) with the given
+/// routing policy: random = round robin; affinity = routing table computed by
+/// the allocation heuristic [Ra92b]. The GLA assignment is coordinated with
+/// the affinity routing either way (the paper's PCL setup).
+System::Workload make_trace_workload(const SystemConfig& cfg,
+                                     const workload::Trace& trace);
+
+/// SystemConfig preset for trace-driven runs (Section 4.6): partitions match
+/// the trace's files, 50 TPS per node, buffer 1000 pages, NOFORCE.
+SystemConfig make_trace_config(const workload::Trace& trace);
+
+RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
+
+/// Shared command-line handling for the bench harnesses:
+///   --quick        shorter measurement interval (CI-friendly)
+///   --measure=S    measurement seconds
+///   --warmup=S     warm-up seconds
+///   --max-nodes=N  cap the node sweep
+///   --full         verbose per-run diagnostics
+///   --csv          machine-readable output
+struct BenchOptions {
+  double warmup = 5.0;
+  double measure = 20.0;
+  int max_nodes = 10;
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 42;
+};
+BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Names of the debit-credit partitions (report columns).
+std::vector<std::string> debit_credit_partition_names();
+
+}  // namespace gemsd

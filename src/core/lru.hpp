@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cassert>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/types.hpp"
+
+namespace gemsd {
+
+/// LRU-ordered page map used by main-memory buffers and disk caches.
+/// O(1) lookup/touch/insert/erase. Most-recently-used at the front.
+template <typename V>
+class LruMap {
+ public:
+  using Entry = std::pair<PageId, V>;
+
+  explicit LruMap(std::size_t capacity) : cap_(capacity) {}
+
+  std::size_t size() const { return list_.size(); }
+  std::size_t capacity() const { return cap_; }
+  bool full() const { return list_.size() >= cap_; }
+
+  /// Find and promote to MRU. Returns nullptr if absent.
+  V* touch(PageId p) {
+    auto it = idx_.find(p);
+    if (it == idx_.end()) return nullptr;
+    list_.splice(list_.begin(), list_, it->second);
+    return &it->second->second;
+  }
+
+  /// Find without promoting.
+  V* peek(PageId p) {
+    auto it = idx_.find(p);
+    return it == idx_.end() ? nullptr : &it->second->second;
+  }
+  const V* peek(PageId p) const {
+    auto it = idx_.find(p);
+    return it == idx_.end() ? nullptr : &it->second->second;
+  }
+
+  bool contains(PageId p) const { return idx_.count(p) != 0; }
+
+  /// Insert as MRU (must not already be present; capacity not enforced here —
+  /// call evict_candidate()/erase() first when full).
+  V* insert(PageId p, V v) {
+    assert(!contains(p));
+    list_.emplace_front(p, std::move(v));
+    idx_[p] = list_.begin();
+    return &list_.front().second;
+  }
+
+  /// The LRU entry (eviction candidate), or nullopt when empty.
+  std::optional<Entry> lru() const {
+    if (list_.empty()) return std::nullopt;
+    return list_.back();
+  }
+
+  /// LRU entry matching pred (scanning backwards from LRU end, at most
+  /// `scan_limit` entries), for "evict the oldest clean page" policies.
+  template <typename Pred>
+  std::optional<PageId> find_lru_if(Pred pred, std::size_t scan_limit) const {
+    std::size_t scanned = 0;
+    for (auto it = list_.rbegin(); it != list_.rend() && scanned < scan_limit;
+         ++it, ++scanned) {
+      if (pred(it->second)) return it->first;
+    }
+    return std::nullopt;
+  }
+
+  bool erase(PageId p) {
+    auto it = idx_.find(p);
+    if (it == idx_.end()) return false;
+    list_.erase(it->second);
+    idx_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    list_.clear();
+    idx_.clear();
+  }
+
+  /// Iterate MRU -> LRU.
+  auto begin() const { return list_.begin(); }
+  auto end() const { return list_.end(); }
+
+ private:
+  std::size_t cap_;
+  std::list<Entry> list_;
+  std::unordered_map<PageId, typename std::list<Entry>::iterator> idx_;
+};
+
+}  // namespace gemsd

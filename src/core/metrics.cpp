@@ -1,0 +1,42 @@
+#include "core/metrics.hpp"
+
+namespace gemsd {
+
+void Metrics::reset() {
+  response = {};
+  response_batches.reset();
+  response_hist.reset();
+  response_per_ref = {};
+  for (auto& m : per_type_response) m = {};
+  commits.reset();
+  aborts.reset();
+  restarts.reset();
+  lost_txns.reset();
+  recovery_time = {};
+  mpl_wait = {};
+  breakdown_cpu = {};
+  breakdown_cpu_wait = {};
+  breakdown_io = {};
+  breakdown_cc = {};
+  breakdown_queue = {};
+  for (auto& c : hits) c.reset();
+  for (auto& c : misses) c.reset();
+  for (auto& c : invalidations_by_partition) c.reset();
+  invalidations.reset();
+  page_requests.reset();
+  page_request_misses.reset();
+  page_request_delay = {};
+  evict_writes.reset();
+  force_writes.reset();
+  lock_requests.reset();
+  lock_local.reset();
+  lock_remote.reset();
+  lock_auth_local.reset();
+  lock_waits.reset();
+  deadlocks.reset();
+  lock_wait_time = {};
+  revocations.reset();
+  coherency_violations.reset();
+}
+
+}  // namespace gemsd

@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+namespace gemsd {
+
+std::string RunResult::label() const {
+  std::string s = to_string(coupling);
+  s += "/";
+  s += to_string(update);
+  s += "/";
+  s += to_string(routing);
+  return s;
+}
+
+void print_table(const std::string& caption,
+                 const std::vector<RunResult>& runs,
+                 const std::vector<std::string>& partition_names, bool full) {
+  std::printf("\n== %s ==\n", caption.c_str());
+  std::printf("%-22s %3s %5s | %9s %8s | %7s %7s %7s", "config", "N", "buf",
+              "resp[ms]", "tps", "cpu", "gem", "net");
+  for (const auto& p : partition_names) {
+    std::printf(" %8.8s", ("hit:" + p).c_str());
+  }
+  std::printf(" | %7s %7s %7s %7s\n", "locLck", "msg/tx", "pgrq/tx", "inv/tx");
+  for (const auto& r : runs) {
+    std::printf("%-22s %3d %5d | %9.2f %8.1f | %6.1f%% %6.2f%% %6.1f%%",
+                r.label().c_str(), r.nodes, r.buffer_pages, r.resp_ms,
+                r.throughput, r.cpu_util * 100, r.gem_util * 100,
+                r.net_util * 100);
+    for (std::size_t p = 0; p < partition_names.size(); ++p) {
+      const double h = p < r.hit_ratio.size() ? r.hit_ratio[p] : 0.0;
+      std::printf(" %7.1f%%", h * 100);
+    }
+    std::printf(" | %6.1f%% %7.2f %7.2f %7.2f\n", r.local_lock_fraction * 100,
+                r.messages_per_txn, r.page_requests_per_txn,
+                r.invalidations_per_txn);
+    if (full) {
+      std::printf(
+          "    ci95=+-%.2fms p95=%.1fms norm=%.2fms tps80/node=%.1f cpuMax=%.1f%% "
+          "waits/tx=%.3f lockWait=%.2fms dl=%llu aborts=%llu "
+          "evW/tx=%.2f fW/tx=%.2f rev/tx=%.3f\n",
+          r.resp_ci_ms, r.resp_p95_ms, r.resp_norm_ms, r.tps_per_node_at_80,
+          r.cpu_util_max * 100, r.lock_waits_per_txn, r.lock_wait_ms,
+          static_cast<unsigned long long>(r.deadlocks),
+          static_cast<unsigned long long>(r.aborts), r.evict_writes_per_txn,
+          r.force_writes_per_txn, r.revocations_per_txn);
+      std::printf(
+          "    breakdown[ms]: cpu=%.1f cpuWait=%.1f io=%.1f cc=%.1f "
+          "queue=%.1f\n",
+          r.brk_cpu_ms, r.brk_cpu_wait_ms, r.brk_io_ms, r.brk_cc_ms,
+          r.brk_queue_ms);
+    }
+  }
+}
+
+void print_csv(const std::vector<RunResult>& runs,
+               const std::vector<std::string>& partition_names) {
+  std::printf("coupling,update,routing,nodes,buffer,resp_ms,resp_p95_ms,"
+              "resp_norm_ms,tps,cpu_util,cpu_util_max,gem_util,net_util,"
+              "tps80_per_node,local_lock_frac,msgs_per_txn,page_req_per_txn,"
+              "page_req_ms,inval_per_txn,lock_waits_per_txn,deadlocks");
+  for (const auto& p : partition_names) std::printf(",hit_%s", p.c_str());
+  std::printf("\n");
+  for (const auto& r : runs) {
+    std::printf("%s,%s,%s,%d,%d,%.3f,%.3f,%.3f,%.2f,%.4f,%.4f,%.5f,%.4f,%.2f,"
+                "%.4f,%.3f,%.3f,%.3f,%.4f,%.4f,%llu",
+                to_string(r.coupling), to_string(r.update),
+                to_string(r.routing), r.nodes, r.buffer_pages, r.resp_ms,
+                r.resp_p95_ms, r.resp_norm_ms, r.throughput, r.cpu_util,
+                r.cpu_util_max, r.gem_util, r.net_util, r.tps_per_node_at_80,
+                r.local_lock_fraction, r.messages_per_txn,
+                r.page_requests_per_txn, r.page_request_delay_ms,
+                r.invalidations_per_txn, r.lock_waits_per_txn,
+                static_cast<unsigned long long>(r.deadlocks));
+    for (std::size_t p = 0; p < partition_names.size(); ++p) {
+      std::printf(",%.4f", p < r.hit_ratio.size() ? r.hit_ratio[p] : 0.0);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace gemsd

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace gemsd {
+
+/// Final numbers of one simulation run — everything the paper's figures and
+/// our analysis tables are built from.
+struct RunResult {
+  // configuration echo
+  int nodes = 0;
+  Coupling coupling{};
+  UpdateStrategy update{};
+  Routing routing{};
+  int buffer_pages = 0;
+  double arrival_rate_per_node = 0;
+
+  // headline metrics
+  double resp_ms = 0;            ///< mean response time
+  double resp_ci_ms = 0;         ///< 95% CI half-width (batch means)
+  double resp_p95_ms = 0;
+  double resp_norm_ms = 0;       ///< trace metric: avg-size artificial txn
+  double throughput = 0;         ///< committed txns/s (whole system)
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t deadlocks = 0;
+
+  // utilizations
+  double cpu_util = 0;           ///< mean over nodes
+  double cpu_util_max = 0;       ///< busiest node
+  double gem_util = 0;
+  double net_util = 0;
+  /// Achievable per-node transaction rate at 80 % utilization of the busiest
+  /// node (Fig 4.6 metric), extrapolated from the measured operating point.
+  double tps_per_node_at_80 = 0;
+
+  // buffer / coherency behaviour
+  std::vector<double> hit_ratio;         ///< per partition
+  double invalidations_per_txn = 0;
+  double page_requests_per_txn = 0;
+  double page_request_delay_ms = 0;
+  double evict_writes_per_txn = 0;
+  double force_writes_per_txn = 0;
+
+  // concurrency control / communication
+  double local_lock_fraction = 0;
+  double lock_waits_per_txn = 0;
+  double lock_wait_ms = 0;
+  double messages_per_txn = 0;
+  double revocations_per_txn = 0;
+
+  // response-time decomposition (ms per txn)
+  double brk_cpu_ms = 0, brk_cpu_wait_ms = 0, brk_io_ms = 0, brk_cc_ms = 0,
+         brk_queue_ms = 0;
+
+  std::string label() const;
+};
+
+/// Pretty-print a series of runs as an aligned table (one row per run) with
+/// the given caption; `columns` selects the metric set ("paper" keeps it
+/// close to what the figures show, "full" adds diagnostics).
+void print_table(const std::string& caption,
+                 const std::vector<RunResult>& runs,
+                 const std::vector<std::string>& partition_names,
+                 bool full = false);
+
+/// CSV output for downstream plotting.
+void print_csv(const std::vector<RunResult>& runs,
+               const std::vector<std::string>& partition_names);
+
+}  // namespace gemsd

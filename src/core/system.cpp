@@ -1,0 +1,264 @@
+#include "core/system.hpp"
+
+#include <stdexcept>
+
+#include "cc/gem_lock_protocol.hpp"
+#include "cc/lock_engine_protocol.hpp"
+#include "cc/primary_copy_protocol.hpp"
+#include "workload/debit_credit.hpp"
+
+namespace gemsd {
+
+System::System(const SystemConfig& cfg, Workload wl)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      metrics_(cfg.partitions.size(),
+               static_cast<std::size_t>(wl.gen ? wl.gen->num_types() : 1)),
+      wl_(std::move(wl)) {
+  gem_ = std::make_unique<storage::GemDevice>(sched_, cfg_.gem);
+  storage_ = std::make_unique<storage::StorageManager>(sched_, rng_, cfg_,
+                                                       *gem_);
+  network_ = std::make_unique<net::Network>(sched_, cfg_.comm);
+  comm_ = std::make_unique<net::Comm>(sched_, *network_, cfg_.comm, gem_.get());
+
+  std::vector<node::CpuSet*> cpu_ptrs;
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    cpus_.push_back(std::make_unique<node::CpuSet>(
+        sched_, cfg_.cpu, "cpu" + std::to_string(n)));
+    cpu_ptrs.push_back(cpus_.back().get());
+    bufs_.push_back(std::make_unique<node::BufferManager>(
+        sched_, cfg_, n, *cpus_.back(), *storage_, metrics_));
+  }
+  comm_->attach_nodes(cpu_ptrs);
+
+  cc::Protocol::Env env;
+  env.sched = &sched_;
+  env.cfg = &cfg_;
+  env.metrics = &metrics_;
+  env.comm = comm_.get();
+  env.net = network_.get();
+  env.gem = gem_.get();
+  env.cpus = cpu_ptrs;
+  for (auto& b : bufs_) env.bufs.push_back(b.get());
+
+  if (cfg_.coupling == Coupling::GemLocking) {
+    protocol_ = std::make_unique<cc::GemLockProtocol>(std::move(env));
+  } else if (cfg_.coupling == Coupling::LockEngine) {
+    if (cfg_.update != UpdateStrategy::Force) {
+      // [Yu87]'s coherency scheme (broadcast invalidation, storage always
+      // current) is only sound with FORCE.
+      throw std::invalid_argument(
+          "Coupling::LockEngine requires UpdateStrategy::Force");
+    }
+    protocol_ = std::make_unique<cc::LockEngineProtocol>(
+        std::move(env), cfg_.lock_engine_service);
+  } else {
+    protocol_ = std::make_unique<cc::PrimaryCopyProtocol>(
+        std::move(env), wl_.gla.get(), cfg_.pcl_read_optimization);
+  }
+  for (auto& b : bufs_) {
+    b->set_writeback_hook([this](NodeId n, PageId p, SeqNo s) {
+      protocol_->on_writeback(n, p, s);
+    });
+  }
+  for (int n = 0; n < cfg_.nodes; ++n) {
+    logs_.push_back(std::make_unique<node::LogManager>(
+        sched_, cfg_, n, *cpus_[static_cast<std::size_t>(n)], *storage_));
+    tms_.push_back(std::make_unique<node::TransactionManager>(
+        sched_, rng_, cfg_, n, *cpus_[static_cast<std::size_t>(n)],
+        *bufs_[static_cast<std::size_t>(n)],
+        *logs_[static_cast<std::size_t>(n)], *protocol_, metrics_));
+  }
+  node_up_.assign(static_cast<std::size_t>(cfg_.nodes), true);
+}
+
+System::~System() = default;
+
+sim::Task<void> System::source() {
+  const double rate = cfg_.arrival_rate_per_node * cfg_.nodes;
+  for (;;) {
+    co_await sched_.delay(rng_.exponential(1.0 / rate));
+    auto spec = wl_.gen->next(rng_);
+    NodeId n = wl_.router->route(spec, rng_);
+    // Route around crashed nodes (simple successor fallback).
+    for (int hops = 0; hops < cfg_.nodes &&
+                       !node_up_[static_cast<std::size_t>(n)];
+         ++hops) {
+      n = (n + 1) % cfg_.nodes;
+    }
+    if (!node_up_[static_cast<std::size_t>(n)]) continue;  // whole cluster down
+    tms_[static_cast<std::size_t>(n)]->submit(std::move(spec), sched_.now());
+  }
+}
+
+void System::fail_node(NodeId n) {
+  if (!node_up_[static_cast<std::size_t>(n)]) return;
+  node_up_[static_cast<std::size_t>(n)] = false;
+  tms_[static_cast<std::size_t>(n)]->set_failed(true);
+  // Volatile state is gone (in-flight device writes may still complete).
+  bufs_[static_cast<std::size_t>(n)]->crash_clear();
+  if (cfg_.coupling == Coupling::PrimaryCopy) {
+    static_cast<cc::PrimaryCopyProtocol&>(*protocol_).freeze_gla(n);
+  }
+  sched_.spawn(recovery_process(n, sched_.now()));
+}
+
+sim::Task<void> System::recovery_process(NodeId n, sim::SimTime crash_time) {
+  co_await sched_.delay(cfg_.failure.detection);
+
+  if (cfg_.coupling == Coupling::PrimaryCopy) {
+    // Reconstruct the lost lock authority from the survivors before its
+    // partition can lock again. (GEM's GLT is non-volatile: no equivalent.)
+    co_await sched_.delay(cfg_.failure.gla_rebuild);
+    static_cast<cc::PrimaryCopyProtocol&>(*protocol_).thaw_gla(n);
+  }
+
+  // REDO the pages whose only current copy died with the node (NOFORCE).
+  // A surviving coordinator write-locks each page, replays the log records
+  // from the failed node's (surviving) log device, force-writes the page,
+  // and releases — after which storage is current again.
+  NodeId coord = (n + 1) % cfg_.nodes;
+  while (coord != n && !node_up_[static_cast<std::size_t>(coord)]) {
+    coord = (coord + 1) % cfg_.nodes;
+  }
+  const auto owned = protocol_->directory().pages_owned_by(n);
+  if (coord != n && !owned.empty()) {
+    // Privileged recovery path: write-lock one page at a time directly on
+    // the logical lock table (the recovery manager owns the reconstructed
+    // lock state — no protocol messages), REDO it from the failed node's
+    // log, force-write it, release. Holding a single lock at a time keeps
+    // normal traffic flowing and cannot deadlock.
+    const TxnId rec_id = (TxnId{0xFEC0} << 40) | recovery_ids_++;
+    auto& table = protocol_->table();
+    for (PageId p : owned) {
+      sim::OneShot<bool> granted(sched_);
+      const auto res = table.acquire(p, rec_id, coord, LockMode::Write,
+                                     [&granted] { granted.set(true); });
+      if (res != cc::LockTable::Outcome::Granted) co_await granted.wait();
+      for (int k = 0; k < cfg_.failure.redo_log_pages_per_page; ++k) {
+        co_await storage_->log_group(n).read(PageId{-1, k});
+      }
+      co_await storage_->write(p);
+      protocol_->directory().written_back(p, n,
+                                          protocol_->directory().seqno(p));
+      table.release(p, rec_id);
+    }
+  }
+  metrics_.recovery_time.add(sched_.now() - crash_time);
+
+  // Node restart: cold buffer, accepts work again.
+  const sim::SimTime rejoin_at =
+      std::max(crash_time + cfg_.failure.node_restart, sched_.now());
+  co_await sched_.delay(rejoin_at - sched_.now());
+  bufs_[static_cast<std::size_t>(n)]->crash_clear();
+  tms_[static_cast<std::size_t>(n)]->set_failed(false);
+  node_up_[static_cast<std::size_t>(n)] = true;
+}
+
+void System::start_source() {
+  if (source_started_) return;
+  source_started_ = true;
+  sched_.spawn(source());
+}
+
+void System::reset_stats() {
+  metrics_.reset();
+  gem_->reset_stats();
+  network_->reset_stats();
+  comm_->reset_stats();
+  storage_->reset_stats();
+  for (auto& c : cpus_) c->reset_stats();
+  protocol_->table().reset_stats();
+  stats_start_ = sched_.now();
+}
+
+RunResult System::run() {
+  start_source();
+  sched_.run_until(cfg_.warmup);
+  reset_stats();
+  sched_.run_until(cfg_.warmup + cfg_.measure);
+  return collect();
+}
+
+RunResult System::collect() const {
+  RunResult r;
+  r.nodes = cfg_.nodes;
+  r.coupling = cfg_.coupling;
+  r.update = cfg_.update;
+  r.routing = cfg_.routing;
+  r.buffer_pages = cfg_.buffer_pages;
+  r.arrival_rate_per_node = cfg_.arrival_rate_per_node;
+
+  const double horizon = sched_.now() - stats_start_;
+  const auto commits = metrics_.commits.value();
+  const double per_txn =
+      commits ? 1.0 / static_cast<double>(commits) : 0.0;
+
+  r.resp_ms = metrics_.response.mean() * 1e3;
+  r.resp_ci_ms = metrics_.response_batches.half_width_95() * 1e3;
+  r.resp_p95_ms = metrics_.response_hist.quantile(0.95) * 1e3;
+  r.resp_norm_ms = metrics_.response_per_ref.count()
+                       ? metrics_.response_per_ref.mean() * 1e3
+                       : 0.0;
+  r.throughput = horizon > 0 ? static_cast<double>(commits) / horizon : 0.0;
+  r.commits = commits;
+  r.aborts = metrics_.aborts.value();
+  r.deadlocks = metrics_.deadlocks.value();
+
+  double util_sum = 0, util_max = 0;
+  for (const auto& c : cpus_) {
+    const double u = c->utilization();
+    util_sum += u;
+    util_max = std::max(util_max, u);
+  }
+  r.cpu_util = util_sum / static_cast<double>(cpus_.size());
+  r.cpu_util_max = util_max;
+  r.gem_util = gem_->utilization();
+  r.net_util = network_->utilization();
+  r.tps_per_node_at_80 =
+      util_max > 0 ? cfg_.arrival_rate_per_node * 0.8 / util_max : 0.0;
+
+  for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+    r.hit_ratio.push_back(metrics_.hit_ratio(p));
+  }
+  r.invalidations_per_txn =
+      static_cast<double>(metrics_.invalidations.value()) * per_txn;
+  r.page_requests_per_txn =
+      static_cast<double>(metrics_.page_requests.value()) * per_txn;
+  r.page_request_delay_ms = metrics_.page_request_delay.mean() * 1e3;
+  r.evict_writes_per_txn =
+      static_cast<double>(metrics_.evict_writes.value()) * per_txn;
+  r.force_writes_per_txn =
+      static_cast<double>(metrics_.force_writes.value()) * per_txn;
+
+  r.local_lock_fraction = metrics_.local_lock_fraction();
+  r.lock_waits_per_txn =
+      static_cast<double>(metrics_.lock_waits.value()) * per_txn;
+  r.lock_wait_ms = metrics_.lock_wait_time.mean() * 1e3;
+  r.messages_per_txn =
+      static_cast<double>(comm_->messages_sent()) * per_txn;
+  r.revocations_per_txn =
+      static_cast<double>(metrics_.revocations.value()) * per_txn;
+
+  r.brk_cpu_ms = metrics_.breakdown_cpu.mean() * 1e3;
+  r.brk_cpu_wait_ms = metrics_.breakdown_cpu_wait.mean() * 1e3;
+  r.brk_io_ms = metrics_.breakdown_io.mean() * 1e3;
+  r.brk_cc_ms = metrics_.breakdown_cc.mean() * 1e3;
+  r.brk_queue_ms = metrics_.breakdown_queue.mean() * 1e3;
+  return r;
+}
+
+System::Workload make_debit_credit_workload(const SystemConfig& cfg) {
+  System::Workload wl;
+  wl.gen = std::make_unique<workload::DebitCreditGenerator>(cfg.nodes);
+  wl.router = workload::make_debit_credit_router(cfg.routing, cfg.nodes);
+  wl.gla = std::make_unique<workload::DebitCreditGlaMap>(cfg.nodes);
+  return wl;
+}
+
+RunResult run_debit_credit(const SystemConfig& cfg) {
+  System sys(cfg, make_debit_credit_workload(cfg));
+  return sys.run();
+}
+
+}  // namespace gemsd

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cc/protocol.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/report.hpp"
+#include "net/comm.hpp"
+#include "net/network.hpp"
+#include "node/buffer_manager.hpp"
+#include "node/cpu.hpp"
+#include "node/log_manager.hpp"
+#include "node/transaction_manager.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "storage/gem_device.hpp"
+#include "storage/storage_manager.hpp"
+#include "workload/workload.hpp"
+
+namespace gemsd {
+
+/// A complete simulated database-sharing cluster: SOURCE, N processing nodes
+/// (transaction manager, buffer manager, CPU set), the concurrency/coherency
+/// protocol selected by the coupling mode, and the peripherals (GEM, disks,
+/// network). Mirrors Fig. 3.1 of the paper.
+class System {
+ public:
+  struct Workload {
+    std::unique_ptr<workload::WorkloadGenerator> gen;
+    std::unique_ptr<workload::Router> router;
+    std::unique_ptr<workload::GlaMap> gla;  ///< required for PCL
+  };
+
+  System(const SystemConfig& cfg, Workload wl);
+  ~System();
+
+  /// Run warm-up, reset statistics, run the measurement interval, and
+  /// collect the results.
+  RunResult run();
+
+  /// Advance the simulation only (tests drive phases manually).
+  void start_source();
+  void run_until(sim::SimTime t) { sched_.run_until(t); }
+  void reset_stats();
+  RunResult collect() const;
+
+  // component access (tests, examples)
+  sim::Scheduler& scheduler() { return sched_; }
+  sim::Rng& rng() { return rng_; }
+  Metrics& metrics() { return metrics_; }
+  cc::Protocol& protocol() { return *protocol_; }
+  node::BufferManager& buffer(NodeId n) { return *bufs_[static_cast<std::size_t>(n)]; }
+  node::CpuSet& cpu(NodeId n) { return *cpus_[static_cast<std::size_t>(n)]; }
+  node::TransactionManager& tm(NodeId n) { return *tms_[static_cast<std::size_t>(n)]; }
+  node::LogManager& log(NodeId n) { return *logs_[static_cast<std::size_t>(n)]; }
+  storage::StorageManager& storage() { return *storage_; }
+  storage::GemDevice& gem() { return *gem_; }
+  net::Network& network() { return *network_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Inject one transaction directly (tests).
+  void submit(NodeId node, workload::TxnSpec spec) {
+    tms_[static_cast<std::size_t>(node)]->submit(std::move(spec), sched_.now());
+  }
+
+  // --- failure / recovery (Sections 1-2: availability) ---
+  /// Crash node n at the current simulation time. In-flight transactions on
+  /// it are lost; the SOURCE routes around it; recovery (detection, REDO of
+  /// the pages it owned, GLA reconstruction under PCL) runs automatically
+  /// and the node rejoins after cfg.failure.node_restart.
+  void fail_node(NodeId n);
+  bool node_up(NodeId n) const {
+    return node_up_[static_cast<std::size_t>(n)];
+  }
+
+ private:
+  sim::Task<void> source();
+  sim::Task<void> recovery_process(NodeId n, sim::SimTime crash_time);
+
+  SystemConfig cfg_;
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  Metrics metrics_;
+  std::unique_ptr<storage::GemDevice> gem_;
+  std::unique_ptr<storage::StorageManager> storage_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::Comm> comm_;
+  std::vector<std::unique_ptr<node::CpuSet>> cpus_;
+  std::vector<std::unique_ptr<node::BufferManager>> bufs_;
+  std::vector<std::unique_ptr<node::LogManager>> logs_;
+  std::unique_ptr<cc::Protocol> protocol_;
+  std::vector<std::unique_ptr<node::TransactionManager>> tms_;
+  Workload wl_;
+  std::vector<bool> node_up_;
+  sim::SimTime stats_start_ = 0;
+  bool source_started_ = false;
+  std::uint64_t recovery_ids_ = 0;
+};
+
+/// Convenience: a ready-to-run debit-credit system for the given config.
+System::Workload make_debit_credit_workload(const SystemConfig& cfg);
+
+/// Convenience: run one debit-credit experiment.
+RunResult run_debit_credit(const SystemConfig& cfg);
+
+}  // namespace gemsd

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "net/network.hpp"
+#include "node/cpu.hpp"
+#include "storage/gem_device.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace gemsd::net {
+
+/// Message-passing layer. A send charges the *sender's* CPU (5000 instr for a
+/// short / 8000 for a long message), occupies the network for the
+/// transmission time, charges the *receiver's* CPU equally, and then runs the
+/// supplied handler as a new process at the receiver. The sender resumes as
+/// soon as its own send processing is done — delivery is asynchronous
+/// (request/response patterns park the sender on a OneShot that the reply
+/// handler fulfills).
+///
+/// The handler is an already-created (lazily started) coroutine Task: its
+/// arguments were bound into its own frame by ordinary parameter passing at
+/// the call site. Deliberately NOT a capturing callable — capturing
+/// coroutine lambdas dangle (C++ Core Guidelines CP.51).
+class Comm {
+ public:
+  Comm(sim::Scheduler& sched, Network& net, const CommConfig& cfg,
+       storage::GemDevice* gem = nullptr)
+      : sched_(sched), net_(net), cfg_(cfg), gem_(gem) {}
+
+  void attach_nodes(std::vector<node::CpuSet*> cpus) { cpus_ = std::move(cpus); }
+
+  /// Awaited by the sender; returns after send-side CPU processing.
+  sim::Task<void> send(NodeId from, NodeId to, bool long_msg,
+                       sim::Task<void> handler) {
+    assert(from != to && "no self-messages: local work is message-free");
+    if (cfg_.transport == MsgTransport::GemStore && gem_ != nullptr) {
+      // Storage-based communication (Section 2): the sender deposits the
+      // message in GEM with a synchronous access and a slim CPU path; the
+      // receiver picks it up the same way. No protocol stack, no network.
+      auto& c = *cpus_[static_cast<std::size_t>(from)];
+      co_await c.acquire();
+      co_await c.busy(cfg_.gem_msg_instr);
+      co_await gem_transfer(long_msg);
+      c.release();
+      sent_.inc();
+      sched_.spawn(deliver_gem(to, long_msg, std::move(handler)));
+      co_return;
+    }
+    const double instr = long_msg ? cfg_.long_instr : cfg_.short_instr;
+    co_await cpus_[static_cast<std::size_t>(from)]->consume(instr);
+    sent_.inc();
+    sched_.spawn(deliver(to, long_msg, std::move(handler)));
+  }
+
+  std::uint64_t messages_sent() const { return sent_.value(); }
+  void reset_stats() { sent_.reset(); }
+
+ private:
+  sim::Task<void> deliver(NodeId to, bool long_msg, sim::Task<void> handler) {
+    co_await net_.transmit(long_msg);
+    const double instr = long_msg ? cfg_.long_instr : cfg_.short_instr;
+    co_await cpus_[static_cast<std::size_t>(to)]->consume(instr);
+    co_await std::move(handler);
+  }
+
+  /// One GEM transfer: a full page access for page-sized messages, a few
+  /// entry accesses for short control messages.
+  sim::Task<void> gem_transfer(bool long_msg) {
+    if (long_msg) {
+      co_await gem_->page_access();
+    } else {
+      for (int i = 0; i < 4; ++i) co_await gem_->entry_access();
+    }
+  }
+
+  sim::Task<void> deliver_gem(NodeId to, bool long_msg,
+                              sim::Task<void> handler) {
+    auto& c = *cpus_[static_cast<std::size_t>(to)];
+    co_await c.acquire();
+    co_await c.busy(cfg_.gem_msg_instr);
+    co_await gem_transfer(long_msg);
+    c.release();
+    co_await std::move(handler);
+  }
+
+  sim::Scheduler& sched_;
+  Network& net_;
+  CommConfig cfg_;
+  storage::GemDevice* gem_;
+  std::vector<node::CpuSet*> cpus_;
+  sim::Counter sent_;
+};
+
+}  // namespace gemsd::net

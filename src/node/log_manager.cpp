@@ -1,0 +1,59 @@
+#include "node/log_manager.hpp"
+
+#include <algorithm>
+
+namespace gemsd::node {
+
+sim::Task<void> LogManager::device_write() {
+  if (storage_.log_on_gem()) {
+    co_await cpu_.acquire();
+    co_await cpu_.busy(cfg_.gem.io_instr);
+    co_await storage_.log_write(node_);
+    cpu_.release();
+  } else {
+    co_await cpu_.consume(cfg_.disk.io_instr);
+    co_await storage_.log_write(node_);
+  }
+}
+
+sim::Task<void> LogManager::flush_group(std::uint64_t group) {
+  if (flushed_seq_ >= group) co_return;  // already flushed (group filled up)
+  group_open_ = false;  // arrivals during the write start the next group
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  co_await device_write();
+  flushed_seq_ = std::max(flushed_seq_, group);
+  ++flushes_;
+  for (auto h : woken) sched_.schedule(sched_.now(), h);
+}
+
+sim::Task<void> LogManager::commit_write() {
+  ++appends_;
+  if (!cfg_.log_group_commit) {
+    co_await device_write();
+    ++flushes_;
+    co_return;
+  }
+  if (!group_open_) {
+    // Group leader: open the group and flush when the window closes
+    // (unless a filler already flushed it).
+    group_open_ = true;
+    group_size_ = 1;
+    const std::uint64_t g = ++group_seq_;
+    co_await sched_.delay(cfg_.log_group_window);
+    co_await flush_group(g);
+    co_return;
+  }
+  ++group_size_;
+  const std::uint64_t g = group_seq_;
+  if (group_size_ >= cfg_.log_group_max) {
+    // The group is full: this committer flushes immediately.
+    co_await flush_group(g);
+    co_return;
+  }
+  // Member: durable once the group's flush completes.
+  co_await sched_.suspend(
+      [this](std::coroutine_handle<> h) { waiters_.push_back(h); });
+}
+
+}  // namespace gemsd::node

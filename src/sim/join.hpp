@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+
+namespace gemsd::sim {
+
+/// Fork/join for simulation processes: spawn several child activities that
+/// run concurrently (parallel force-writes at commit, batched release
+/// messages, ...) and await their collective completion.
+class Join {
+ public:
+  explicit Join(Scheduler& sched) : sched_(sched) {}
+  Join(const Join&) = delete;
+  Join& operator=(const Join&) = delete;
+
+  /// Launch a child; it starts at the current time.
+  void spawn(Task<void> t) {
+    ++pending_;
+    sched_.spawn(wrap(std::move(t)));
+  }
+
+  /// Awaitable: resumes when every spawned child has finished (immediately
+  /// if none are pending).
+  auto wait_all() {
+    struct Awaiter {
+      Join& j;
+      bool await_ready() const noexcept { return j.pending_ == 0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!j.waiter_);
+        j.waiter_ = h;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  int pending() const { return pending_; }
+
+ private:
+  Task<void> wrap(Task<void> inner) {
+    co_await std::move(inner);
+    if (--pending_ == 0 && waiter_) {
+      auto h = waiter_;
+      waiter_ = {};
+      sched_.schedule(sched_.now(), h);
+    }
+  }
+
+  Scheduler& sched_;
+  int pending_ = 0;
+  std::coroutine_handle<> waiter_{};
+};
+
+}  // namespace gemsd::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <optional>
+
+#include "sim/scheduler.hpp"
+
+namespace gemsd::sim {
+
+/// One-shot rendezvous between a single waiter and a single producer
+/// (request/response messaging). The producer may set the value before or
+/// after the consumer starts waiting; the consumer is resumed through the
+/// event queue at the producer's set() time.
+template <typename T>
+class OneShot {
+ public:
+  explicit OneShot(Scheduler& sched) : sched_(sched) {}
+  OneShot(const OneShot&) = delete;
+  OneShot& operator=(const OneShot&) = delete;
+
+  void set(T v) {
+    assert(!value_.has_value() && "OneShot::set called twice");
+    value_.emplace(std::move(v));
+    if (waiter_) {
+      sched_.schedule(sched_.now(), waiter_);
+      waiter_ = {};
+    }
+  }
+
+  bool ready() const { return value_.has_value(); }
+
+  auto wait() {
+    struct Awaiter {
+      OneShot& o;
+      bool await_ready() const noexcept { return o.value_.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(!o.waiter_ && "OneShot supports a single waiter");
+        o.waiter_ = h;
+      }
+      T await_resume() { return std::move(*o.value_); }
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Scheduler& sched_;
+  std::optional<T> value_;
+  std::coroutine_handle<> waiter_{};
+};
+
+}  // namespace gemsd::sim

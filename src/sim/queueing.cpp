@@ -1,0 +1,52 @@
+#include "sim/queueing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gemsd::sim {
+
+double erlang_c(int k, double a) {
+  if (k <= 0) throw std::invalid_argument("erlang_c: k must be positive");
+  if (a < 0.0 || a >= k) {
+    throw std::invalid_argument("erlang_c: offered load must be in [0, k)");
+  }
+  // Iterative Erlang-B, then convert to Erlang-C (numerically stable).
+  double b = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    b = a * b / (static_cast<double>(i) + a * b);
+  }
+  const double rho = a / static_cast<double>(k);
+  return b / (1.0 - rho + rho * b);
+}
+
+double mmk_wait(double lambda, double mean_service, int k) {
+  if (lambda <= 0.0) return 0.0;
+  const double a = lambda * mean_service;
+  const double rho = a / static_cast<double>(k);
+  if (rho >= 1.0) {
+    throw std::invalid_argument("mmk_wait: unstable (rho >= 1)");
+  }
+  return erlang_c(k, a) * mean_service / (static_cast<double>(k) * (1.0 - rho));
+}
+
+double mmk_response(double lambda, double mean_service, int k) {
+  return mmk_wait(lambda, mean_service, k) + mean_service;
+}
+
+double mmk_number_in_system(double lambda, double mean_service, int k) {
+  return lambda * mmk_response(lambda, mean_service, k);
+}
+
+double mm1_response(double lambda, double mean_service) {
+  return mmk_response(lambda, mean_service, 1);
+}
+
+double mg1_wait(double lambda, double mean_service, double scv) {
+  const double rho = lambda * mean_service;
+  if (rho >= 1.0) {
+    throw std::invalid_argument("mg1_wait: unstable (rho >= 1)");
+  }
+  return rho * mean_service * (1.0 + scv) / (2.0 * (1.0 - rho));
+}
+
+}  // namespace gemsd::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+namespace gemsd::sim {
+
+/// Closed-form queueing formulas used to cross-validate the simulator: the
+/// DES must agree with M/M/k theory on single stations, and the analytic
+/// debit-credit model (core/analytic.hpp) builds response-time predictions
+/// from these.
+
+/// Erlang-C: probability that an arrival to an M/M/k queue must wait.
+/// `offered` is the offered load a = lambda/mu (in Erlangs); requires
+/// a < k for stability.
+double erlang_c(int k, double offered);
+
+/// Mean waiting time (excluding service) in an M/M/k queue.
+double mmk_wait(double lambda, double mean_service, int k);
+
+/// Mean response time (wait + service) in an M/M/k queue.
+double mmk_response(double lambda, double mean_service, int k);
+
+/// Mean number in system (M/M/k, Little's law applied to mmk_response).
+double mmk_number_in_system(double lambda, double mean_service, int k);
+
+/// M/M/1 mean response time.
+double mm1_response(double lambda, double mean_service);
+
+/// M/G/1 mean waiting time (Pollaczek–Khinchine) given the squared
+/// coefficient of variation of service times (scv = Var/mean^2; 1 for
+/// exponential, 0 for deterministic).
+double mg1_wait(double lambda, double mean_service, double scv);
+
+}  // namespace gemsd::sim

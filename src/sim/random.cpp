@@ -1,0 +1,46 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gemsd::sim {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(eng_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(eng_);
+}
+
+double Rng::normal(double mean, double stddev, double lo, double hi) {
+  std::normal_distribution<double> d(mean, stddev);
+  for (int i = 0; i < 64; ++i) {
+    const double x = d(eng_);
+    if (x >= lo && x <= hi) return x;
+  }
+  return std::clamp(mean, lo, hi);
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t ZipfGenerator::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace gemsd::sim

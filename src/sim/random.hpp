@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace gemsd::sim {
+
+/// Deterministic, seedable random source used by every stochastic model
+/// component. One Rng per System keeps runs reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : eng_(seed) {}
+
+  /// U(0,1).
+  double uniform() { return unit_(eng_); }
+  /// U[lo, hi) real.
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+  bool bernoulli(double p) { return uniform() < p; }
+  /// Truncated normal (resampled into [lo, hi]).
+  double normal(double mean, double stddev, double lo, double hi);
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Zipf-distributed integers over {0, ..., n-1}: P(k) ~ 1/(k+1)^theta.
+/// Precomputes the CDF once; sampling is a binary search (O(log n)).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta);
+  /// Draw a rank (0 = most popular).
+  std::size_t sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gemsd::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+/// A k-server FCFS queueing station (CPU set, disk arm, GEM port, network
+/// link, MPL slot pool...). Collects utilization, queue-length and waiting
+/// time statistics.
+class Resource {
+ public:
+  Resource(Scheduler& sched, int capacity, std::string name = "");
+
+  /// Awaitable: acquire one server (FIFO). Resumes with the waiting time.
+  auto acquire() {
+    struct Awaiter {
+      Resource& r;
+      SimTime enq = -1.0;  // <0: granted without waiting
+      bool await_ready() {
+        if (r.busy_ < r.cap_) {
+          r.grant_now();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        enq = r.sched_.now();
+        r.q_.push_back(h);
+        r.qlen_tw_.set(enq, static_cast<double>(r.q_.size()));
+      }
+      double await_resume() {
+        const double w = enq < 0.0 ? 0.0 : r.sched_.now() - enq;
+        r.wait_.add(w);
+        return w;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  /// Release one server; hands the slot to the oldest waiter if any.
+  void release();
+
+  /// Acquire, hold for `service`, release. Returns the waiting time.
+  Task<double> use(SimTime service);
+
+  int capacity() const { return cap_; }
+  int busy() const { return busy_; }
+  std::size_t queue_length() const { return q_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Fraction of server-time busy since the last reset.
+  double utilization() const {
+    return busy_tw_.mean(sched_.now()) / static_cast<double>(cap_);
+  }
+  double mean_queue_length() const { return qlen_tw_.mean(sched_.now()); }
+  const MeanStat& wait_stat() const { return wait_; }
+  std::uint64_t completions() const { return completions_; }
+
+  void reset_stats();
+
+ private:
+  friend struct AcquireAwaiter;
+  void grant_now();
+
+  Scheduler& sched_;
+  int cap_;
+  int busy_ = 0;
+  std::string name_;
+  std::deque<std::coroutine_handle<>> q_;
+  TimeWeighted busy_tw_;
+  TimeWeighted qlen_tw_;
+  MeanStat wait_;
+  std::uint64_t completions_ = 0;
+};
+
+}  // namespace gemsd::sim

@@ -1,0 +1,80 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+
+namespace gemsd::sim {
+
+Scheduler::~Scheduler() {
+  drain_dead();
+  // Destroy still-suspended root processes; nested frames are owned by their
+  // parents' Task locals and cascade automatically.
+  for (void* p : roots_) {
+    std::coroutine_handle<>::from_address(p).destroy();
+  }
+}
+
+void Scheduler::schedule(SimTime t, std::coroutine_handle<> h) {
+  assert(t >= now_);
+  pq_.push(Ev{t, seq_++, h, {}});
+}
+
+void Scheduler::schedule_call(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  pq_.push(Ev{t, seq_++, {}, std::move(fn)});
+}
+
+void Scheduler::spawn(Task<void> t) {
+  auto h = t.release();
+  h.promise().reaper = this;
+  roots_.insert(h.address());
+  schedule(now_, h);
+}
+
+void Scheduler::reap(std::coroutine_handle<> h) {
+  roots_.erase(h.address());
+  dead_.push_back(h);
+}
+
+void Scheduler::drain_dead() {
+  for (auto h : dead_) h.destroy();
+  dead_.clear();
+}
+
+std::uint64_t Scheduler::run_until(SimTime end) {
+  std::uint64_t n = 0;
+  while (!pq_.empty() && pq_.top().t <= end) {
+    Ev ev = pq_.top();
+    pq_.pop();
+    now_ = ev.t;
+    if (ev.h) {
+      ev.h.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+    drain_dead();
+    ++n;
+  }
+  now_ = end;
+  processed_ += n;
+  return n;
+}
+
+std::uint64_t Scheduler::run_all() {
+  std::uint64_t n = 0;
+  while (!pq_.empty()) {
+    Ev ev = pq_.top();
+    pq_.pop();
+    now_ = ev.t;
+    if (ev.h) {
+      ev.h.resume();
+    } else if (ev.fn) {
+      ev.fn();
+    }
+    drain_dead();
+    ++n;
+  }
+  processed_ += n;
+  return n;
+}
+
+}  // namespace gemsd::sim

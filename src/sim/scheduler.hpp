@@ -1,0 +1,115 @@
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+/// Discrete-event scheduler. All model activity runs as coroutine processes
+/// resumed from the central event queue; every cross-process wakeup goes
+/// through schedule(), never by resuming a handle inline. That single rule
+/// makes the simulation reentrancy-free and teardown safe.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Resume `h` at absolute time `t` (>= now).
+  void schedule(SimTime t, std::coroutine_handle<> h);
+  /// Run `fn` at absolute time `t` (timers, arrival generators hooks).
+  void schedule_call(SimTime t, std::function<void()> fn);
+
+  /// Start a root process. The scheduler owns the frame; it is destroyed
+  /// when the process finishes or when the scheduler is destroyed.
+  void spawn(Task<void> t);
+
+  /// Process events with timestamp <= end; then advance now to end.
+  /// Returns the number of events processed.
+  std::uint64_t run_until(SimTime end);
+  /// Process all remaining events. Returns the number processed.
+  std::uint64_t run_all();
+
+  bool empty() const { return pq_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+  std::size_t live_processes() const { return roots_.size(); }
+
+  /// Awaitable: suspend the calling process for `d` simulated time.
+  auto delay(SimTime d) {
+    struct Awaiter {
+      Scheduler& s;
+      SimTime d;
+      bool await_ready() const noexcept { return d <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        s.schedule(s.now_ + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, d};
+  }
+
+  /// Awaitable: suspend the calling process and hand its handle to `fn`,
+  /// which must arrange resumption later via schedule(). Used by lock
+  /// managers and futures to park processes on their own wait queues.
+  template <typename Fn>
+  auto suspend(Fn fn) {
+    struct Awaiter {
+      Fn fn;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { fn(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{std::move(fn)};
+  }
+
+  /// Internal: called from a finished root task's final suspend.
+  void reap(std::coroutine_handle<> h);
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;   // either a handle...
+    std::function<void()> fn;    // ...or a callback
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drain_dead();
+
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> pq_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::unordered_set<void*> roots_;
+  std::vector<std::coroutine_handle<>> dead_;
+};
+
+namespace detail {
+
+template <typename Promise>
+std::coroutine_handle<> PromiseBase::FinalAwaiter::await_suspend(
+    std::coroutine_handle<Promise> h) noexcept {
+  auto& pb = h.promise();
+  if (pb.continuation) return pb.continuation;
+  if (pb.reaper != nullptr) pb.reaper->reap(h);
+  return std::noop_coroutine();
+}
+
+}  // namespace detail
+
+}  // namespace gemsd::sim

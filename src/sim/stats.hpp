@@ -1,0 +1,151 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+/// Online mean/variance accumulator (Welford's algorithm) with min/max.
+class MeanStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+  void reset() { *this = MeanStat{}; }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant quantity (queue length,
+/// number of busy servers, ...). Call set() whenever the value changes.
+class TimeWeighted {
+ public:
+  void set(SimTime now, double value) {
+    integral_ += value_ * (now - last_t_);
+    value_ = value;
+    last_t_ = now;
+  }
+  void add(SimTime now, double delta) { set(now, value_ + delta); }
+  /// Restart the observation window at `now` keeping the current value.
+  void reset(SimTime now) {
+    start_t_ = now;
+    last_t_ = now;
+    integral_ = 0.0;
+  }
+  double value() const { return value_; }
+  /// Time-average over [reset, now].
+  double mean(SimTime now) const {
+    const double horizon = now - start_t_;
+    if (horizon <= 0.0) return value_;
+    return (integral_ + value_ * (now - last_t_)) / horizon;
+  }
+
+ private:
+  double value_ = 0.0;
+  SimTime start_t_ = 0.0;
+  SimTime last_t_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Simple monotonically increasing event counter with reset support.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { n_ += by; }
+  void reset() { n_ = 0; }
+  std::uint64_t value() const { return n_; }
+
+ private:
+  std::uint64_t n_ = 0;
+};
+
+/// Batch-means estimator for steady-state simulation output analysis:
+/// observations are grouped into fixed-size batches; the batch means are
+/// (approximately) independent, giving a defensible confidence interval for
+/// the long-run mean.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batch_size = 500) : batch_(batch_size) {}
+
+  void add(double x) {
+    sum_ += x;
+    if (++in_batch_ == batch_) {
+      means_.add(sum_ / static_cast<double>(batch_));
+      sum_ = 0.0;
+      in_batch_ = 0;
+    }
+  }
+  void reset() {
+    means_ = MeanStat{};
+    sum_ = 0.0;
+    in_batch_ = 0;
+  }
+
+  std::size_t batches() const { return means_.count(); }
+  double mean() const { return means_.mean(); }
+  /// 95% confidence half-width over the batch means (normal approximation;
+  /// needs a handful of batches to be meaningful — 0 until then).
+  double half_width_95() const {
+    if (means_.count() < 2) return 0.0;
+    return 1.96 * means_.stddev() /
+           std::sqrt(static_cast<double>(means_.count()));
+  }
+
+ private:
+  std::size_t batch_;
+  std::size_t in_batch_ = 0;
+  double sum_ = 0.0;
+  MeanStat means_;
+};
+
+/// Log-spaced histogram for positive durations; supports approximate
+/// quantiles. Bin i covers [lo * ratio^i, lo * ratio^(i+1)).
+class Histogram {
+ public:
+  /// Covers [lo, hi) with `bins` geometric buckets (plus under/overflow).
+  Histogram(double lo = 1e-6, double hi = 100.0, int bins = 160);
+
+  void add(double x);
+  void reset();
+  std::uint64_t count() const { return total_; }
+  /// Approximate q-quantile (0 < q < 1), by linear interpolation within the
+  /// containing bucket. Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  double lo_, log_lo_, log_ratio_;
+  std::vector<std::uint64_t> buckets_;  // [0]=underflow, [last]=overflow
+  std::uint64_t total_ = 0;
+
+  double bucket_lower(int i) const;
+};
+
+}  // namespace gemsd::sim

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace gemsd::sim {
+
+/// Simulated time, in seconds. Double precision gives sub-nanosecond
+/// resolution over the simulation horizons used here (minutes).
+using SimTime = double;
+
+/// Convenience literal-style helpers (all return seconds).
+constexpr SimTime usec(double x) { return x * 1e-6; }
+constexpr SimTime msec(double x) { return x * 1e-3; }
+constexpr SimTime sec(double x) { return x; }
+
+}  // namespace gemsd::sim

@@ -1,0 +1,67 @@
+#include "storage/disk.hpp"
+
+#include <utility>
+
+namespace gemsd::storage {
+
+DiskGroup::DiskGroup(sim::Scheduler& sched, sim::Rng& rng, std::string name,
+                     int arms, Times times, std::unique_ptr<DiskCache> cache)
+    : sched_(sched),
+      rng_(rng),
+      name_(std::move(name)),
+      t_(times),
+      controllers_(sched, arms, name_ + ".ctrl"),
+      arms_(sched, arms, name_ + ".arm"),
+      cache_(std::move(cache)) {}
+
+sim::Task<bool> DiskGroup::read(PageId p) {
+  reads_.inc();
+  co_await controllers_.use(rng_.exponential(t_.controller));
+  if (cache_ && cache_->read_hit(p)) {
+    co_await sched_.delay(t_.transfer);
+    co_return true;
+  }
+  co_await arms_.use(rng_.exponential(t_.disk));
+  if (cache_) {
+    // Stage the page into the cache; a displaced dirty page destages.
+    const auto ev = cache_->install(p, /*dirty=*/false);
+    if (ev.any) sched_.spawn(destage(ev.page));
+  }
+  co_await sched_.delay(t_.transfer);
+  co_return false;
+}
+
+sim::Task<void> DiskGroup::write(PageId p) {
+  writes_.inc();
+  co_await controllers_.use(rng_.exponential(t_.controller));
+  if (cache_ && cache_->nonvolatile()) {
+    // Fast write: absorbed by the non-volatile cache, destaged later.
+    const auto ev = cache_->install(p, /*dirty=*/true);
+    if (ev.any) sched_.spawn(destage(ev.page));
+    sched_.spawn(destage(p));
+    co_await sched_.delay(t_.transfer);
+    co_return;
+  }
+  if (cache_) {
+    // Volatile cache: write-through; keep the copy coherent for readers.
+    const auto ev = cache_->install(p, /*dirty=*/false);
+    if (ev.any) sched_.spawn(destage(ev.page));
+  }
+  co_await arms_.use(rng_.exponential(t_.disk));
+  co_await sched_.delay(t_.transfer);
+}
+
+sim::Task<void> DiskGroup::destage(PageId p) {
+  co_await arms_.use(rng_.exponential(t_.disk));
+  if (cache_) cache_->destaged(p);
+}
+
+void DiskGroup::reset_stats() {
+  controllers_.reset_stats();
+  arms_.reset_stats();
+  reads_.reset();
+  writes_.reset();
+  if (cache_) cache_->reset_stats();
+}
+
+}  // namespace gemsd::storage

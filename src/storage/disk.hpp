@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "storage/disk_cache.hpp"
+
+namespace gemsd::storage {
+
+/// A partition's disk subsystem: a pool of controllers and disk arms
+/// (k-server FCFS stations, exponential service), a fixed per-page transfer
+/// delay, and optionally a shared (volatile or non-volatile) disk cache.
+///
+/// Access time composition follows the paper: transmission delay + controller
+/// delay + disk delay (the disk delay is skipped on cache read hits, and on
+/// all writes when the cache is non-volatile). I/O is load-balanced across
+/// the arms ("a sufficient number of disks to avoid I/O bottlenecks").
+class DiskGroup {
+ public:
+  struct Times {
+    sim::SimTime disk;        ///< mean arm service time
+    sim::SimTime controller;  ///< mean controller service time
+    sim::SimTime transfer;    ///< fixed page transfer delay
+  };
+
+  DiskGroup(sim::Scheduler& sched, sim::Rng& rng, std::string name, int arms,
+            Times times, std::unique_ptr<DiskCache> cache = nullptr);
+
+  /// Read a page. Returns true when satisfied from the disk cache.
+  sim::Task<bool> read(PageId p);
+  /// Write a page (returns when the write is durable: on disk, or in a
+  /// non-volatile cache).
+  sim::Task<void> write(PageId p);
+
+  bool has_cache() const { return cache_ != nullptr; }
+  DiskCache* cache() { return cache_.get(); }
+
+  double arm_utilization() const { return arms_.utilization(); }
+  double controller_utilization() const { return controllers_.utilization(); }
+  std::uint64_t reads() const { return reads_.value(); }
+  std::uint64_t writes() const { return writes_.value(); }
+  const std::string& name() const { return name_; }
+
+  void reset_stats();
+
+ private:
+  sim::Task<void> destage(PageId p);
+
+  sim::Scheduler& sched_;
+  sim::Rng& rng_;
+  std::string name_;
+  Times t_;
+  sim::Resource controllers_;
+  sim::Resource arms_;
+  std::unique_ptr<DiskCache> cache_;
+  sim::Counter reads_, writes_;
+};
+
+}  // namespace gemsd::storage

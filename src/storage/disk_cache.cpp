@@ -1,0 +1,29 @@
+#include "storage/disk_cache.hpp"
+
+namespace gemsd::storage {
+
+DiskCache::EvictedDirty DiskCache::install(PageId p, bool dirty) {
+  if (bool* d = lru_.touch(p)) {
+    *d = *d || dirty;
+    return {};
+  }
+  EvictedDirty out;
+  if (lru_.full()) {
+    // Prefer the oldest clean page; fall back to pushing out a dirty one,
+    // which the caller must destage before the frame is reused (modelled as
+    // an immediate asynchronous destage).
+    auto clean = lru_.find_lru_if([](bool is_dirty) { return !is_dirty; },
+                                  lru_.size());
+    if (clean) {
+      lru_.erase(*clean);
+    } else if (auto victim = lru_.lru()) {
+      out.any = true;
+      out.page = victim->first;
+      lru_.erase(victim->first);
+    }
+  }
+  lru_.insert(p, dirty);
+  return out;
+}
+
+}  // namespace gemsd::storage

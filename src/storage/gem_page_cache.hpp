@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/lru.hpp"
+#include "core/types.hpp"
+#include "sim/stats.hpp"
+
+namespace gemsd::storage {
+
+/// Logical content of a GEM-resident global page cache in front of a disk
+/// group (Section 2: "caching database pages at an intermediate storage
+/// level"; also the [DIRY89/DDY91] Shared Intermediate Memory and the small
+/// GEM write buffer usage form). GEM is non-volatile, so the cache absorbs
+/// writes; dirty pages are destaged to disk asynchronously.
+///
+/// Timing is *not* modelled here: callers account the synchronous GEM device
+/// accesses (and hold a CPU across them).
+class GemPageCache {
+ public:
+  explicit GemPageCache(std::size_t capacity) : lru_(capacity) {}
+
+  bool read_hit(PageId p) {
+    const bool hit = lru_.touch(p) != nullptr;
+    (hit ? hits_ : misses_).inc();
+    return hit;
+  }
+
+  struct EvictedDirty {
+    bool any = false;
+    PageId page{};
+  };
+
+  /// Install a page; returns a dirty LRU victim that must be destaged.
+  EvictedDirty install(PageId p, bool dirty) {
+    if (bool* d = lru_.touch(p)) {
+      *d = *d || dirty;
+      return {};
+    }
+    EvictedDirty out;
+    if (lru_.full()) {
+      auto clean = lru_.find_lru_if([](bool is_dirty) { return !is_dirty; },
+                                    lru_.size());
+      if (clean) {
+        lru_.erase(*clean);
+      } else if (auto victim = lru_.lru()) {
+        out.any = true;
+        out.page = victim->first;
+        lru_.erase(victim->first);
+      }
+    }
+    lru_.insert(p, dirty);
+    return out;
+  }
+
+  void destaged(PageId p) {
+    if (bool* d = lru_.peek(p)) *d = false;
+  }
+
+  bool contains(PageId p) const { return lru_.contains(p); }
+  std::size_t size() const { return lru_.size(); }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  void reset_stats() {
+    hits_.reset();
+    misses_.reset();
+  }
+
+ private:
+  LruMap<bool> lru_;  // dirty flag
+  sim::Counter hits_, misses_;
+};
+
+}  // namespace gemsd::storage

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/types.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/task.hpp"
+#include "storage/disk.hpp"
+#include "storage/gem_device.hpp"
+#include "storage/gem_page_cache.hpp"
+
+namespace gemsd::storage {
+
+/// Routes page I/O to the device holding each partition (disk group with or
+/// without cache, or GEM) and owns the per-node log devices. Pure device
+/// layer: CPU overhead for I/O is charged by the buffer/log managers.
+class StorageManager {
+ public:
+  StorageManager(sim::Scheduler& sched, sim::Rng& rng,
+                 const SystemConfig& cfg, GemDevice& gem);
+
+  bool is_gem(PartitionId p) const {
+    return cfg_.partitions[static_cast<std::size_t>(p)].storage ==
+           StorageKind::Gem;
+  }
+  StorageKind kind(PartitionId p) const {
+    return cfg_.partitions[static_cast<std::size_t>(p)].storage;
+  }
+
+  /// Device-level page read; returns true if served from a disk cache (or
+  /// GEM — any global-store hit that skips the disk arm).
+  sim::Task<bool> read(PageId p);
+  /// Device-level durable page write.
+  sim::Task<void> write(PageId p);
+
+  // --- GEM page cache (StorageKind::DiskGemCache) ---
+  bool has_gem_cache(PartitionId p) const {
+    return gem_caches_[static_cast<std::size_t>(p)] != nullptr;
+  }
+  GemPageCache* gem_cache(PartitionId p) {
+    return gem_caches_[static_cast<std::size_t>(p)].get();
+  }
+  /// Probe the partition's GEM cache (caller holds a CPU): one GEM entry
+  /// access for the directory plus a page access when found.
+  sim::Task<bool> gem_cache_probe(PageId p);
+  /// Stage a page into the GEM cache (one page access; caller holds a CPU);
+  /// a displaced dirty victim destages to disk asynchronously.
+  sim::Task<void> gem_cache_insert(PageId p, bool dirty);
+  /// Read the page from the underlying disk group, bypassing the GEM cache.
+  sim::Task<void> disk_read(PageId p);
+  /// Append one log page to a node's log (disk or GEM per config).
+  sim::Task<void> log_write(NodeId n);
+  bool log_on_gem() const { return cfg_.log_storage == StorageKind::Gem; }
+
+  GemDevice& gem() { return gem_; }
+  DiskGroup* group(PartitionId p) {
+    return groups_[static_cast<std::size_t>(p)].get();  // null if GEM
+  }
+  DiskGroup& log_group(NodeId n) { return *logs_[static_cast<std::size_t>(n)]; }
+
+  void reset_stats();
+
+ private:
+  sim::Task<void> destage_from_gem(PageId p);
+
+  sim::Scheduler& sched_;
+  const SystemConfig& cfg_;
+  GemDevice& gem_;
+  std::vector<std::unique_ptr<DiskGroup>> groups_;  // per partition
+  std::vector<std::unique_ptr<GemPageCache>> gem_caches_;
+  std::vector<std::unique_ptr<DiskGroup>> logs_;    // per node
+};
+
+}  // namespace gemsd::storage

@@ -1,0 +1,61 @@
+#include "workload/debit_credit.hpp"
+
+namespace gemsd::workload {
+
+using Ids = DebitCreditIds;
+
+TxnSpec DebitCreditGenerator::next(sim::Rng& rng) {
+  const std::int64_t branches = total_branches();
+  const std::int64_t branch = rng.uniform_int(0, branches - 1);
+
+  // ACCOUNT: 85% to an account of the selected branch, 15% to an account of
+  // another (uniformly selected) branch.
+  std::int64_t acct_branch = branch;
+  if (branches > 1 && rng.bernoulli(0.15)) {
+    acct_branch = rng.uniform_int(0, branches - 2);
+    if (acct_branch >= branch) ++acct_branch;
+  }
+  const std::int64_t account =
+      acct_branch * Ids::kAccountsPerBranch +
+      rng.uniform_int(0, Ids::kAccountsPerBranch - 1);
+  const std::int64_t account_page = account / Ids::kAccountsPerPage;
+
+  // One BRANCH + its TELLERs per page (clustering): the B/T page id equals
+  // the branch id. The TELLER and BRANCH record accesses hit the same page.
+  const PageId bt_page{Ids::kBranchTeller, branch};
+
+  TxnSpec t;
+  t.type = 0;
+  t.affinity_key = branch;
+  t.refs = {
+      PageRef{PageId{Ids::kAccount, account_page}, true},
+      PageRef{PageId{Ids::kHistory, kAppendPage}, true},
+      PageRef{bt_page, true},  // TELLER record
+      PageRef{bt_page, true},  // BRANCH record (same clustered page)
+  };
+  return t;
+}
+
+NodeId DebitCreditGlaMap::gla(PageId page) const {
+  std::int64_t branch = 0;
+  switch (page.partition) {
+    case Ids::kBranchTeller:
+      branch = page.page;
+      break;
+    case Ids::kAccount:
+      branch = page.page * Ids::kAccountsPerPage / Ids::kAccountsPerBranch;
+      break;
+    default:
+      return 0;  // HISTORY is not locked; never queried
+  }
+  return static_cast<NodeId>(branch / Ids::kBranchesPerUnit) % nodes_;
+}
+
+std::unique_ptr<Router> make_debit_credit_router(Routing routing, int nodes) {
+  if (routing == Routing::Random) {
+    return std::make_unique<RandomRouter>(nodes);
+  }
+  return std::make_unique<BlockAffinityRouter>(Ids::kBranchesPerUnit);
+}
+
+}  // namespace gemsd::workload

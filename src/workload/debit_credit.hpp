@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "workload/workload.hpp"
+
+namespace gemsd::workload {
+
+/// Synthetic debit-credit (TPC-A/B style) generator following Section 3.1:
+///
+///  * four record types; BRANCH and TELLER are clustered into one partition
+///    (one BRANCH plus its ten TELLERs per page), so each transaction touches
+///    three pages: one ACCOUNT page, the HISTORY tail, and one B/T page;
+///  * the BRANCH is selected uniformly; the TELLER belongs to that branch;
+///  * 85 % of ACCOUNT accesses go to an account of the selected branch, the
+///    rest to an account of a (uniformly) different branch;
+///  * HISTORY is appended sequentially (resolved to the executing node's tail
+///    page at run time — kAppendPage);
+///  * record types are referenced in a fixed order with the hot BRANCH/TELLER
+///    page last, so debit-credit itself is deadlock-free and hot lock holding
+///    times stay short. All four record accesses are updates.
+///
+/// The database scales with the node count per the TPC rule (100 branches,
+/// 1000 tellers, 10 M accounts per 100-TPS node unit).
+class DebitCreditGenerator : public WorkloadGenerator {
+ public:
+  explicit DebitCreditGenerator(int nodes) : nodes_(nodes) {}
+
+  TxnSpec next(sim::Rng& rng) override;
+  int num_types() const override { return 1; }
+
+  std::int64_t total_branches() const {
+    return DebitCreditIds::kBranchesPerUnit * nodes_;
+  }
+
+ private:
+  int nodes_;
+};
+
+/// GLA assignment for debit-credit under PCL: each node gets the lock
+/// authority for a contiguous block of branches together with their TELLER
+/// and ACCOUNT records (Section 3.2). HISTORY is not locked.
+class DebitCreditGlaMap : public GlaMap {
+ public:
+  explicit DebitCreditGlaMap(int nodes) : nodes_(nodes) {}
+  NodeId gla(PageId page) const override;
+
+ private:
+  int nodes_;
+};
+
+/// Branch-affinity router for debit-credit (node = branch block).
+std::unique_ptr<Router> make_debit_credit_router(Routing routing, int nodes);
+
+}  // namespace gemsd::workload

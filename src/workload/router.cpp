@@ -1,0 +1,15 @@
+#include "workload/workload.hpp"
+
+namespace gemsd::workload {
+
+NodeId TableRouter::route(const TxnSpec& t, sim::Rng& rng) {
+  const auto& row = share_[static_cast<std::size_t>(t.type)];
+  double u = rng.uniform();
+  for (std::size_t n = 0; n < row.size(); ++n) {
+    u -= row[n];
+    if (u <= 0.0) return static_cast<NodeId>(n);
+  }
+  return static_cast<NodeId>(row.size() - 1);
+}
+
+}  // namespace gemsd::workload

@@ -1,0 +1,115 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gemsd::workload {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticSpec spec,
+                                     std::vector<std::int64_t> partition_pages)
+    : spec_(std::move(spec)), partition_pages_(std::move(partition_pages)) {
+  if (spec_.classes.empty()) {
+    throw std::invalid_argument("SyntheticWorkload: no transaction classes");
+  }
+  double total = 0;
+  for (const auto& c : spec_.classes) {
+    if (c.partitions.empty()) {
+      throw std::invalid_argument("SyntheticWorkload: class '" + c.name +
+                                  "' references no partitions");
+    }
+    for (PartitionId p : c.partitions) {
+      if (static_cast<std::size_t>(p) >= partition_pages_.size() ||
+          partition_pages_[static_cast<std::size_t>(p)] <= 0) {
+        throw std::invalid_argument(
+            "SyntheticWorkload: class '" + c.name +
+            "' references an unknown or unbounded partition");
+      }
+    }
+    total += c.weight;
+    class_cdf_.push_back(total);
+  }
+  for (double& v : class_cdf_) v /= total;
+
+  // One Zipf generator per class, sized to its largest partition; ranks are
+  // scaled down for smaller partitions.
+  zipf_.reserve(spec_.classes.size());
+  for (const auto& c : spec_.classes) {
+    std::int64_t largest = 1;
+    for (PartitionId p : c.partitions) {
+      largest = std::max(largest, partition_pages_[static_cast<std::size_t>(p)]);
+    }
+    zipf_.push_back(std::make_unique<sim::ZipfGenerator>(
+        static_cast<std::size_t>(largest), c.zipf_theta));
+  }
+}
+
+TxnSpec SyntheticWorkload::next(sim::Rng& rng) {
+  // Pick a class by weight.
+  const double u = rng.uniform();
+  std::size_t ci = 0;
+  while (ci + 1 < class_cdf_.size() && class_cdf_[ci] < u) ++ci;
+  const TxnClass& c = spec_.classes[ci];
+
+  TxnSpec t;
+  t.type = static_cast<int>(ci);
+  t.affinity_key = rng.uniform_int(0, spec_.affinity_keys - 1);
+
+  const auto nrefs = static_cast<std::size_t>(
+      std::max<double>(1.0, rng.exponential(c.mean_refs)));
+  t.refs.reserve(nrefs);
+  for (std::size_t r = 0; r < nrefs; ++r) {
+    const PartitionId part =
+        c.partitions[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(c.partitions.size()) - 1))];
+    const std::int64_t pages =
+        partition_pages_[static_cast<std::size_t>(part)];
+    // Zipf rank scaled into this partition's page space.
+    std::int64_t rank = static_cast<std::int64_t>(zipf_[ci]->sample(rng));
+    rank = rank % pages;
+    // Locality: with probability `locality` the access stays inside the
+    // affinity key's own page region (key-partitioned data, like
+    // debit-credit branches); otherwise it samples the global distribution.
+    std::int64_t page = rank;
+    if (rng.uniform() < c.locality) {
+      // Key k owns pages [k*pages/keys, (k+1)*pages/keys) — the exact
+      // integer inverse of KeyGlaMap's page -> key formula, so locality-1
+      // accesses are always authority-local under the matching GLA.
+      const std::int64_t keys = spec_.affinity_keys;
+      const std::int64_t start =
+          (t.affinity_key * pages + keys - 1) / keys;  // ceiling
+      const std::int64_t end = ((t.affinity_key + 1) * pages + keys - 1) / keys;
+      const std::int64_t size = std::max<std::int64_t>(1, end - start);
+      page = std::min(start + rank % size, pages - 1);
+    }
+    const bool write = rng.bernoulli(c.write_fraction);
+    // A read of a record the class is likely to update later is locked with
+    // update intent (probability matched to the class's write mix, so pure
+    // readers are not serialized behind the update-mode exclusivity).
+    const bool intent =
+        !write && c.update_intent && rng.bernoulli(c.write_fraction);
+    t.refs.push_back(PageRef{PageId{part, page}, write, intent});
+  }
+  return t;
+}
+
+SyntheticBundle make_synthetic_workload(const SystemConfig& cfg,
+                                        SyntheticSpec spec) {
+  std::vector<std::int64_t> pages;
+  pages.reserve(cfg.partitions.size());
+  for (std::size_t p = 0; p < cfg.partitions.size(); ++p) {
+    pages.push_back(cfg.partition_pages(static_cast<PartitionId>(p)));
+  }
+  SyntheticBundle b;
+  const std::int64_t keys = spec.affinity_keys;
+  b.gen = std::make_unique<SyntheticWorkload>(std::move(spec), pages);
+  if (cfg.routing == Routing::Random) {
+    b.router = std::make_unique<RandomRouter>(cfg.nodes);
+  } else {
+    b.router = std::make_unique<KeyAffinityRouter>(cfg.nodes);
+  }
+  b.gla = std::make_unique<KeyGlaMap>(cfg.nodes, keys, pages);
+  return b;
+}
+
+}  // namespace gemsd::workload

@@ -1,0 +1,243 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gemsd::workload {
+
+void Trace::save(std::ostream& os) const {
+  os << "gemsd-trace 1\n";
+  os << "types " << num_types << "\n";
+  os << "files " << num_files << "\n";
+  for (const auto& t : txns) {
+    os << "t " << t.type << " " << t.refs.size() << "\n";
+    for (const auto& r : t.refs) {
+      os << (r.write ? "w " : "r ") << r.page.partition << " " << r.page.page
+         << "\n";
+    }
+  }
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file for writing: " + path);
+  save(f);
+}
+
+Trace Trace::load(std::istream& is) {
+  Trace tr;
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "gemsd-trace" || version != 1) {
+    throw std::runtime_error("not a gemsd trace (bad header)");
+  }
+  std::string key;
+  is >> key >> tr.num_types;
+  if (key != "types") throw std::runtime_error("trace: expected 'types'");
+  is >> key >> tr.num_files;
+  if (key != "files") throw std::runtime_error("trace: expected 'files'");
+  while (is >> key) {
+    if (key != "t") throw std::runtime_error("trace: expected 't'");
+    TxnSpec t;
+    std::size_t nrefs = 0;
+    is >> t.type >> nrefs;
+    t.affinity_key = t.type;
+    t.refs.reserve(nrefs);
+    for (std::size_t i = 0; i < nrefs; ++i) {
+      std::string mode;
+      PageRef r;
+      is >> mode >> r.page.partition >> r.page.page;
+      r.write = (mode == "w");
+      t.refs.push_back(r);
+    }
+    tr.txns.push_back(std::move(t));
+  }
+  return tr;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return load(f);
+}
+
+TraceStats compute_stats(const Trace& t) {
+  TraceStats s;
+  s.transactions = t.txns.size();
+  std::unordered_set<std::uint64_t> pages;
+  std::size_t writes = 0, updates = 0;
+  for (const auto& txn : t.txns) {
+    s.references += txn.refs.size();
+    s.largest_txn = std::max(s.largest_txn, txn.refs.size());
+    bool upd = false;
+    for (const auto& r : txn.refs) {
+      pages.insert(r.page.key());
+      if (r.write) {
+        ++writes;
+        upd = true;
+      }
+    }
+    if (upd) ++updates;
+  }
+  s.distinct_pages = pages.size();
+  if (s.references)
+    s.write_ref_fraction =
+        static_cast<double>(writes) / static_cast<double>(s.references);
+  if (s.transactions) {
+    s.update_txn_fraction =
+        static_cast<double>(updates) / static_cast<double>(s.transactions);
+    s.mean_refs =
+        static_cast<double>(s.references) / static_cast<double>(s.transactions);
+  }
+  return s;
+}
+
+TraceProfile profile_trace(const Trace& t) {
+  TraceProfile p;
+  p.num_types = t.num_types;
+  p.num_files = t.num_files;
+  p.type_load.assign(static_cast<std::size_t>(t.num_types), 0.0);
+  p.type_file_refs.assign(
+      static_cast<std::size_t>(t.num_types),
+      std::vector<double>(static_cast<std::size_t>(t.num_files), 0.0));
+  for (const auto& txn : t.txns) {
+    const auto ty = static_cast<std::size_t>(txn.type);
+    p.type_load[ty] += static_cast<double>(txn.refs.size());
+    for (const auto& r : txn.refs) {
+      p.type_file_refs[ty][static_cast<std::size_t>(r.page.partition)] += 1.0;
+    }
+  }
+  return p;
+}
+
+namespace {
+
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> make_affinity_routing(const TraceProfile& p,
+                                                       int nodes) {
+  const auto T = static_cast<std::size_t>(p.num_types);
+  const auto N = static_cast<std::size_t>(nodes);
+  std::vector<std::vector<double>> share(T, std::vector<double>(N, 0.0));
+
+  double total = 0.0;
+  for (double l : p.type_load) total += l;
+  const double capacity = total / static_cast<double>(nodes);
+
+  // Types in decreasing load order (LPT-style), fractional water-filling:
+  // each chunk of a type's load goes to the node with the best mix of file
+  // overlap (affinity) and remaining capacity (balance).
+  std::vector<std::size_t> order(T);
+  for (std::size_t i = 0; i < T; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.type_load[a] > p.type_load[b];
+  });
+
+  std::vector<double> node_load(N, 0.0);
+  std::vector<std::vector<double>> node_files(
+      N, std::vector<double>(static_cast<std::size_t>(p.num_files), 0.0));
+
+  for (std::size_t ty : order) {
+    double remaining = p.type_load[ty];
+    if (remaining <= 0.0) continue;
+    int guard = 0;
+    while (remaining > 1e-9 && guard++ < 4 * nodes) {
+      std::size_t best = 0;
+      double best_score = -1e30;
+      for (std::size_t n = 0; n < N; ++n) {
+        const double overlap = cosine(p.type_file_refs[ty], node_files[n]);
+        const double balance = node_load[n] / capacity;
+        const double score = overlap - 2.0 * balance;
+        if (score > best_score) {
+          best_score = score;
+          best = n;
+        }
+      }
+      const double room = std::max(capacity * 1.02 - node_load[best], 0.0);
+      const double take = (room > 1e-9) ? std::min(remaining, room) : remaining;
+      share[ty][best] += take / p.type_load[ty];
+      node_load[best] += take;
+      for (std::size_t f = 0; f < node_files[best].size(); ++f) {
+        node_files[best][f] +=
+            p.type_file_refs[ty][f] * take / p.type_load[ty];
+      }
+      remaining -= take;
+    }
+  }
+  // Normalize rows against rounding drift.
+  for (auto& row : share) {
+    double s = 0;
+    for (double v : row) s += v;
+    if (s > 0)
+      for (double& v : row) v /= s;
+    else
+      row[0] = 1.0;
+  }
+  return share;
+}
+
+std::vector<NodeId> make_gla_assignment(
+    const TraceProfile& p, const std::vector<std::vector<double>>& share,
+    int nodes) {
+  const auto F = static_cast<std::size_t>(p.num_files);
+  const auto N = static_cast<std::size_t>(nodes);
+  // refs[n][f]: expected references to file f issued from node n under the
+  // routing table.
+  std::vector<std::vector<double>> refs(N, std::vector<double>(F, 0.0));
+  for (std::size_t ty = 0; ty < share.size(); ++ty) {
+    for (std::size_t n = 0; n < N; ++n) {
+      for (std::size_t f = 0; f < F; ++f) {
+        refs[n][f] += share[ty][n] * p.type_file_refs[ty][f];
+      }
+    }
+  }
+  std::vector<double> file_total(F, 0.0);
+  double total = 0.0;
+  for (std::size_t f = 0; f < F; ++f) {
+    for (std::size_t n = 0; n < N; ++n) file_total[f] += refs[n][f];
+    total += file_total[f];
+  }
+  const double capacity = total / static_cast<double>(nodes);
+
+  std::vector<std::size_t> order(F);
+  for (std::size_t i = 0; i < F; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return file_total[a] > file_total[b];
+  });
+
+  std::vector<NodeId> gla(F, 0);
+  std::vector<double> gla_load(N, 0.0);
+  for (std::size_t f : order) {
+    std::size_t best = 0;
+    double best_score = -1e30;
+    for (std::size_t n = 0; n < N; ++n) {
+      const double local = file_total[f] > 0 ? refs[n][f] / file_total[f] : 0;
+      const double score = local - 1.0 * (gla_load[n] / capacity);
+      if (score > best_score) {
+        best_score = score;
+        best = n;
+      }
+    }
+    gla[f] = static_cast<NodeId>(best);
+    gla_load[best] += file_total[f];
+  }
+  return gla;
+}
+
+}  // namespace gemsd::workload

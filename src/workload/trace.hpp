@@ -1,0 +1,92 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace gemsd::workload {
+
+/// A database trace: a sequence of transactions, each with its type and page
+/// reference string (Section 3.1, trace-driven workload generator). Traces
+/// can be loaded from / saved to a portable text format so that real traces
+/// can be substituted for the synthetic one.
+struct Trace {
+  int num_types = 0;
+  int num_files = 0;  ///< page partitions referenced by the trace
+  std::vector<TxnSpec> txns;
+
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static Trace load(std::istream& is);
+  static Trace load_file(const std::string& path);
+};
+
+/// Aggregate characteristics of a trace (used to validate the synthetic
+/// trace against the figures the paper reports for the real one).
+struct TraceStats {
+  std::size_t transactions = 0;
+  std::size_t references = 0;
+  std::size_t distinct_pages = 0;
+  double write_ref_fraction = 0.0;
+  double update_txn_fraction = 0.0;
+  std::size_t largest_txn = 0;
+  double mean_refs = 0.0;
+};
+TraceStats compute_stats(const Trace& t);
+
+/// Workload generator that replays a trace: transactions are submitted in
+/// their original order (cycling when the arrival process outruns the trace),
+/// per the common-arrival-rate replay mode of Section 3.1.
+class TraceWorkload : public WorkloadGenerator {
+ public:
+  explicit TraceWorkload(const Trace& trace) : trace_(trace) {}
+  TxnSpec next(sim::Rng&) override {
+    const auto& t = trace_.txns[pos_];
+    pos_ = (pos_ + 1) % trace_.txns.size();
+    return t;
+  }
+  int num_types() const override { return trace_.num_types; }
+
+ private:
+  const Trace& trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Per-type reference profile of a trace: input to the workload-allocation
+/// and GLA heuristics [Ra92b].
+struct TraceProfile {
+  int num_types = 0;
+  int num_files = 0;
+  std::vector<double> type_load;                    ///< total refs by type
+  std::vector<std::vector<double>> type_file_refs;  ///< [type][file]
+};
+TraceProfile profile_trace(const Trace& t);
+
+/// Affinity-based workload allocation: a fractional routing table
+/// share[type][node] (rows sum to 1) balancing load while maximizing the
+/// file-profile overlap of the types co-located on a node.
+std::vector<std::vector<double>> make_affinity_routing(const TraceProfile& p,
+                                                       int nodes);
+
+/// GLA assignment coordinated with a routing table: each file's lock
+/// authority goes to the node that references it most, subject to balance.
+std::vector<NodeId> make_gla_assignment(
+    const TraceProfile& p, const std::vector<std::vector<double>>& share,
+    int nodes);
+
+/// GlaMap over a per-file assignment.
+class FileGlaMap : public GlaMap {
+ public:
+  explicit FileGlaMap(std::vector<NodeId> by_file)
+      : by_file_(std::move(by_file)) {}
+  NodeId gla(PageId page) const override {
+    return by_file_[static_cast<std::size_t>(page.partition)];
+  }
+
+ private:
+  std::vector<NodeId> by_file_;
+};
+
+}  // namespace gemsd::workload

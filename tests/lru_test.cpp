@@ -1,0 +1,81 @@
+// Unit tests for the LRU map shared by main-memory buffers and disk caches.
+#include <gtest/gtest.h>
+
+#include "core/lru.hpp"
+
+namespace gemsd {
+namespace {
+
+PageId pg(std::int64_t n) { return PageId{0, n}; }
+
+TEST(LruMap, InsertAndTouchPromotes) {
+  LruMap<int> m(3);
+  m.insert(pg(1), 10);
+  m.insert(pg(2), 20);
+  m.insert(pg(3), 30);
+  EXPECT_EQ(m.lru()->first, pg(1));
+  EXPECT_EQ(*m.touch(pg(1)), 10);
+  EXPECT_EQ(m.lru()->first, pg(2));  // 1 became MRU
+}
+
+TEST(LruMap, PeekDoesNotPromote) {
+  LruMap<int> m(2);
+  m.insert(pg(1), 1);
+  m.insert(pg(2), 2);
+  EXPECT_EQ(*m.peek(pg(1)), 1);
+  EXPECT_EQ(m.lru()->first, pg(1));  // unchanged
+}
+
+TEST(LruMap, TouchMissingReturnsNull) {
+  LruMap<int> m(2);
+  EXPECT_EQ(m.touch(pg(9)), nullptr);
+  EXPECT_EQ(m.peek(pg(9)), nullptr);
+  EXPECT_FALSE(m.erase(pg(9)));
+}
+
+TEST(LruMap, EraseRemoves) {
+  LruMap<int> m(2);
+  m.insert(pg(1), 1);
+  EXPECT_TRUE(m.erase(pg(1)));
+  EXPECT_FALSE(m.contains(pg(1)));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(LruMap, FullReportsCapacity) {
+  LruMap<int> m(2);
+  EXPECT_FALSE(m.full());
+  m.insert(pg(1), 1);
+  m.insert(pg(2), 2);
+  EXPECT_TRUE(m.full());
+}
+
+TEST(LruMap, FindLruIfScansFromColdEnd) {
+  LruMap<int> m(4);
+  for (int i = 1; i <= 4; ++i) m.insert(pg(i), i);
+  // LRU order (cold->hot): 1,2,3,4. First even value from the cold end is 2.
+  auto found = m.find_lru_if([](int v) { return v % 2 == 0; }, 4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, pg(2));
+  // With a scan limit of 1 only page 1 is examined -> no match.
+  EXPECT_FALSE(m.find_lru_if([](int v) { return v % 2 == 0; }, 1).has_value());
+}
+
+TEST(LruMap, IterationIsMruToLru) {
+  LruMap<int> m(3);
+  m.insert(pg(1), 1);
+  m.insert(pg(2), 2);
+  m.touch(pg(1));
+  std::vector<std::int64_t> order;
+  for (const auto& [k, v] : m) order.push_back(k.page);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(PageIdHash, DistinctAcrossPartitions) {
+  std::hash<PageId> h;
+  EXPECT_NE(h(PageId{0, 5}), h(PageId{1, 5}));
+  EXPECT_EQ(h(PageId{2, 7}), h(PageId{2, 7}));
+  EXPECT_NE((PageId{0, 5}), (PageId{1, 5}));
+}
+
+}  // namespace
+}  // namespace gemsd

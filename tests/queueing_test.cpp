@@ -1,0 +1,172 @@
+// Tests for the closed-form queueing module AND simulator cross-validation:
+// the DES kernel must agree with M/M/k theory on single stations, and the
+// full debit-credit system must land near the analytic baseline under
+// affinity routing (where queueing theory applies).
+#include <gtest/gtest.h>
+
+#include "core/analytic.hpp"
+#include "core/system.hpp"
+#include "sim/queueing.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace gemsd {
+namespace {
+
+using sim::erlang_c;
+using sim::mg1_wait;
+using sim::mm1_response;
+using sim::mmk_response;
+using sim::mmk_wait;
+
+TEST(Queueing, ErlangCKnownValues) {
+  // Single server: C(1, rho) = rho.
+  EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+  // Zero load never waits.
+  EXPECT_NEAR(erlang_c(4, 0.0), 0.0, 1e-12);
+  // Textbook value: C(2, 1.0) = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Queueing, ErlangCRejectsUnstable) {
+  EXPECT_THROW(erlang_c(2, 2.0), std::invalid_argument);
+  EXPECT_THROW(erlang_c(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(mmk_wait(200.0, 0.01, 1), std::invalid_argument);
+}
+
+TEST(Queueing, Mm1MatchesClassicFormula) {
+  // W = s / (1 - rho)
+  EXPECT_NEAR(mm1_response(50.0, 0.01), 0.01 / (1 - 0.5), 1e-12);
+  EXPECT_NEAR(mm1_response(90.0, 0.01), 0.01 / (1 - 0.9), 1e-9);
+}
+
+TEST(Queueing, Mg1DeterministicHalvesWait) {
+  const double exp_wait = mg1_wait(50.0, 0.01, 1.0);
+  const double det_wait = mg1_wait(50.0, 0.01, 0.0);
+  EXPECT_NEAR(det_wait, exp_wait / 2.0, 1e-12);
+  // M/M/1 consistency: P-K with scv=1 equals M/M/1 wait.
+  EXPECT_NEAR(exp_wait, mm1_response(50.0, 0.01) - 0.01, 1e-12);
+}
+
+// --- DES kernel vs theory ---
+
+sim::Task<void> poisson_source(sim::Scheduler& s, sim::Rng& rng,
+                               sim::Resource& r, double lambda,
+                               double mean_service, sim::MeanStat* resp) {
+  for (;;) {
+    co_await s.delay(rng.exponential(1.0 / lambda));
+    s.spawn([](sim::Scheduler& sc, sim::Rng& rg, sim::Resource& rs, double ms,
+               sim::MeanStat* out) -> sim::Task<void> {
+      const double t0 = sc.now();
+      co_await rs.use(rg.exponential(ms));
+      out->add(sc.now() - t0);
+    }(s, rng, r, mean_service, resp));
+  }
+}
+
+TEST(Queueing, SimulatorMatchesMM1) {
+  sim::Scheduler s;
+  sim::Rng rng(5);
+  sim::Resource r(s, 1, "station");
+  sim::MeanStat resp;
+  const double lambda = 70.0, service = 0.01;  // rho = 0.7
+  s.spawn(poisson_source(s, rng, r, lambda, service, &resp));
+  s.run_until(400.0);
+  EXPECT_GT(resp.count(), 20000u);
+  EXPECT_NEAR(resp.mean(), mm1_response(lambda, service), 0.004);
+  EXPECT_NEAR(r.utilization(), 0.70, 0.03);
+}
+
+TEST(Queueing, SimulatorMatchesMM4) {
+  sim::Scheduler s;
+  sim::Rng rng(6);
+  sim::Resource r(s, 4, "station");
+  sim::MeanStat resp;
+  const double lambda = 300.0, service = 0.01;  // rho = 0.75 on 4 servers
+  s.spawn(poisson_source(s, rng, r, lambda, service, &resp));
+  s.run_until(200.0);
+  EXPECT_NEAR(resp.mean(), mmk_response(lambda, service, 4), 0.002);
+  EXPECT_NEAR(r.utilization(), 0.75, 0.03);
+}
+
+// --- analytic debit-credit baseline vs full simulator ---
+
+TEST(Analytic, PredictsAffinityNoforceWithin15Percent) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 4;
+  cfg.routing = Routing::Affinity;
+  cfg.update = UpdateStrategy::NoForce;
+  cfg.warmup = 3;
+  cfg.measure = 12;
+  const RunResult r = run_debit_credit(cfg);
+  const auto pred = predict_debit_credit(cfg, r.hit_ratio[0]);
+  EXPECT_NEAR(r.resp_ms, pred.total * 1e3, pred.total * 1e3 * 0.15);
+}
+
+TEST(Analytic, PredictsForcePenalty) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 2;
+  cfg.routing = Routing::Affinity;
+  cfg.warmup = 3;
+  cfg.measure = 12;
+  SystemConfig nf_cfg = cfg;
+  nf_cfg.update = UpdateStrategy::NoForce;
+  const RunResult nf = run_debit_credit(nf_cfg);
+  SystemConfig fo_cfg = cfg;
+  fo_cfg.update = UpdateStrategy::Force;
+  const RunResult fo = run_debit_credit(fo_cfg);
+  const auto pnf = predict_debit_credit(nf_cfg, nf.hit_ratio[0]);
+  const auto pfo = predict_debit_credit(fo_cfg, fo.hit_ratio[0]);
+  // The measured FORCE-NOFORCE gap must be in the analytic ballpark.
+  const double measured_gap = fo.resp_ms - nf.resp_ms;
+  const double predicted_gap = (pfo.total - pnf.total) * 1e3;
+  EXPECT_NEAR(measured_gap, predicted_gap, 10.0);
+  EXPECT_GT(measured_gap, 5.0);
+}
+
+TEST(Analytic, GemResidenceRemovesBtReadFromPrediction) {
+  SystemConfig cfg = make_debit_credit_config();
+  const auto disk = predict_debit_credit(cfg, 0.0);
+  cfg.partitions[DebitCreditIds::kBranchTeller].storage = StorageKind::Gem;
+  const auto gem = predict_debit_credit(cfg, 0.0);
+  EXPECT_GT(disk.bt_read, 10e-3);
+  EXPECT_LT(gem.bt_read, 1e-3);
+}
+
+TEST(Stats, BatchMeansConvergesOnIidData) {
+  sim::BatchMeans bm(100);
+  sim::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) bm.add(rng.exponential(2.0));
+  EXPECT_EQ(bm.batches(), 1000u);
+  EXPECT_NEAR(bm.mean(), 2.0, 0.05);
+  EXPECT_GT(bm.half_width_95(), 0.0);
+  EXPECT_LT(bm.half_width_95(), 0.05);
+  // The CI must actually cover the true mean here.
+  EXPECT_LT(std::abs(bm.mean() - 2.0), 3 * bm.half_width_95());
+}
+
+TEST(Stats, BatchMeansNeedsTwoBatches) {
+  sim::BatchMeans bm(100);
+  for (int i = 0; i < 150; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batches(), 1u);
+  EXPECT_DOUBLE_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(System, ResponseCiShrinksWithLongerRuns) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 2;
+  cfg.warmup = 2;
+  cfg.measure = 8;
+  const RunResult a = run_debit_credit(cfg);
+  cfg.measure = 32;
+  const RunResult b = run_debit_credit(cfg);
+  ASSERT_GT(a.resp_ci_ms, 0.0);
+  ASSERT_GT(b.resp_ci_ms, 0.0);
+  EXPECT_LT(b.resp_ci_ms, a.resp_ci_ms);
+}
+
+}  // namespace
+}  // namespace gemsd

@@ -1,0 +1,186 @@
+// Tests for the general synthetic workload generator: class mix, reference
+// shapes, locality/rotation model, router/GLA coordination, and an
+// end-to-end run through both coupling modes.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gemsd::workload {
+namespace {
+
+SystemConfig two_partition_cfg() {
+  SystemConfig cfg;
+  cfg.nodes = 4;
+  cfg.partitions.resize(2);
+  cfg.partitions[0].name = "ORDERS";
+  cfg.partitions[0].pages_per_unit = 2000;
+  cfg.partitions[0].scale_with_nodes = false;
+  cfg.partitions[0].disks_per_unit = 8;
+  cfg.partitions[1].name = "STOCK";
+  cfg.partitions[1].pages_per_unit = 8000;
+  cfg.partitions[1].scale_with_nodes = false;
+  cfg.partitions[1].disks_per_unit = 8;
+  return cfg;
+}
+
+SyntheticSpec demo_spec() {
+  SyntheticSpec spec;
+  spec.affinity_keys = 256;
+  TxnClass order;
+  order.name = "new-order";
+  order.weight = 3.0;
+  order.mean_refs = 12;
+  order.write_fraction = 0.4;
+  order.partitions = {0, 1};
+  order.locality = 1.0;
+  TxnClass scan;
+  scan.name = "stock-scan";
+  scan.weight = 1.0;
+  scan.mean_refs = 40;
+  scan.write_fraction = 0.0;
+  scan.partitions = {1};
+  scan.locality = 0.0;
+  spec.classes = {order, scan};
+  return spec;
+}
+
+TEST(SyntheticWorkload, ClassMixFollowsWeights) {
+  const SystemConfig cfg = two_partition_cfg();
+  auto b = make_synthetic_workload(cfg, demo_spec());
+  sim::Rng rng(1);
+  int orders = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (b.gen->next(rng).type == 0) ++orders;
+  }
+  EXPECT_NEAR(orders / static_cast<double>(kN), 0.75, 0.02);
+}
+
+TEST(SyntheticWorkload, RefsStayInDeclaredPartitions) {
+  const SystemConfig cfg = two_partition_cfg();
+  auto b = make_synthetic_workload(cfg, demo_spec());
+  sim::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const TxnSpec t = b.gen->next(rng);
+    for (const auto& r : t.refs) {
+      if (t.type == 1) {
+        EXPECT_EQ(r.page.partition, 1);  // scan: STOCK only
+        EXPECT_FALSE(r.write);           // read-only class
+      }
+      EXPECT_GE(r.page.page, 0);
+      const auto pages = cfg.partition_pages(r.page.partition);
+      EXPECT_LT(r.page.page, pages);
+    }
+  }
+}
+
+TEST(SyntheticWorkload, WriteFractionRoughlyHonored) {
+  const SystemConfig cfg = two_partition_cfg();
+  auto b = make_synthetic_workload(cfg, demo_spec());
+  sim::Rng rng(3);
+  std::int64_t writes = 0, refs = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const TxnSpec t = b.gen->next(rng);
+    if (t.type != 0) continue;
+    for (const auto& r : t.refs) {
+      refs += 1;
+      writes += r.write ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(refs), 0.4,
+              0.03);
+}
+
+TEST(SyntheticWorkload, LocalityPartitionsHotSetsByKey) {
+  // With locality 1, two different affinity keys must mostly touch disjoint
+  // page regions of the same partition.
+  const SystemConfig cfg = two_partition_cfg();
+  SyntheticSpec spec = demo_spec();
+  spec.classes[0].locality = 1.0;
+  auto gen = SyntheticWorkload(spec, {2000, 8000});
+  sim::Rng rng(4);
+  std::set<std::int64_t> seen_a, seen_b;
+  int drawn = 0;
+  while (drawn < 3000) {
+    TxnSpec t = gen.next(rng);
+    if (t.type != 0) continue;
+    auto& target = (t.affinity_key % 256 == 0)   ? seen_a
+                   : (t.affinity_key % 256 == 128) ? seen_b
+                                                   : seen_a;
+    if (t.affinity_key != 0 && t.affinity_key != 128) continue;
+    for (const auto& r : t.refs) {
+      if (r.page.partition == 1) target.insert(r.page.page);
+    }
+    ++drawn;
+  }
+  // Overlap between the two keys' footprints should be small.
+  std::size_t overlap = 0;
+  for (auto p : seen_a) overlap += seen_b.count(p);
+  EXPECT_LT(static_cast<double>(overlap),
+            0.2 * static_cast<double>(std::min(seen_a.size(), seen_b.size()) + 1));
+}
+
+TEST(SyntheticWorkload, GlaMatchesRouterForLocalClasses) {
+  SystemConfig cfg = two_partition_cfg();
+  cfg.routing = Routing::Affinity;  // key-affinity router, not round robin
+  auto b = make_synthetic_workload(cfg, demo_spec());
+  sim::Rng rng(5);
+  int local = 0, total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const TxnSpec t = b.gen->next(rng);
+    if (t.type != 0) continue;  // the locality-1 class
+    const NodeId n = b.router->route(t, rng);
+    for (const auto& r : t.refs) {
+      ++total;
+      if (b.gla->gla(r.page) == n) ++local;
+    }
+  }
+  // The key-region GLA should make nearly all accesses authority-local.
+  EXPECT_GT(static_cast<double>(local) / total, 0.9);
+}
+
+TEST(SyntheticWorkload, RejectsBadSpecs) {
+  EXPECT_THROW(SyntheticWorkload({}, {100}), std::invalid_argument);
+  SyntheticSpec s;
+  TxnClass c;
+  c.partitions = {};  // none
+  s.classes = {c};
+  EXPECT_THROW(SyntheticWorkload(s, {100}), std::invalid_argument);
+  TxnClass d;
+  d.partitions = {5};  // unknown partition
+  s.classes = {d};
+  EXPECT_THROW(SyntheticWorkload(s, {100}), std::invalid_argument);
+}
+
+TEST(SyntheticWorkload, EndToEndBothCouplings) {
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    SystemConfig cfg = two_partition_cfg();
+    cfg.coupling = c;
+    cfg.routing = Routing::Affinity;
+    cfg.arrival_rate_per_node = 60.0;
+    // These classes average 12-40 references; size the CPU bursts so the
+    // nodes are not oversaturated (the debit-credit default of 40k per
+    // reference is calibrated for 4-reference transactions).
+    cfg.path.bot_instr = 20000;
+    cfg.path.per_ref_instr = 5000;
+    cfg.path.eot_instr = 20000;
+    cfg.warmup = 1.0;
+    cfg.measure = 8.0;
+    System::Workload wl;
+    auto bundle = make_synthetic_workload(cfg, demo_spec());
+    wl.gen = std::move(bundle.gen);
+    wl.router = std::move(bundle.router);
+    wl.gla = std::move(bundle.gla);
+    System sys(cfg, std::move(wl));
+    const RunResult r = sys.run();
+    EXPECT_GT(r.commits, 200u);
+    EXPECT_EQ(sys.metrics().coherency_violations.value(), 0u);
+    if (c == Coupling::PrimaryCopy) {
+      EXPECT_GT(r.local_lock_fraction, 0.5);  // locality + matching GLA
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gemsd::workload

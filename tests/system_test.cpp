@@ -1,0 +1,220 @@
+// Integration tests: full debit-credit clusters across every combination of
+// coupling, update strategy and routing (parameterized), checking the
+// invariants that must hold regardless of configuration, plus targeted
+// system-level properties (determinism, TPC scaling, stats reset).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace gemsd {
+namespace {
+
+SystemConfig base_cfg() {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.warmup = 1.0;
+  cfg.measure = 4.0;
+  return cfg;
+}
+
+using Combo = std::tuple<Coupling, UpdateStrategy, Routing, int /*nodes*/>;
+
+class FullSystem : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(FullSystem, InvariantsHold) {
+  const auto [coupling, update, routing, nodes] = GetParam();
+  SystemConfig cfg = base_cfg();
+  cfg.coupling = coupling;
+  cfg.update = update;
+  cfg.routing = routing;
+  cfg.nodes = nodes;
+
+  System sys(cfg, make_debit_credit_workload(cfg));
+  const RunResult r = sys.run();
+
+  // The open system must keep up with the offered load.
+  const double offered = cfg.arrival_rate_per_node * nodes;
+  EXPECT_GT(r.commits, 100u);
+  EXPECT_NEAR(r.throughput, offered, offered * 0.15);
+
+  // Correctness invariants.
+  EXPECT_EQ(sys.metrics().coherency_violations.value(), 0u);
+  EXPECT_EQ(r.deadlocks, 0u);  // debit-credit orders references canonically
+  EXPECT_EQ(r.aborts, 0u);
+
+  // Sanity of rates and ratios.
+  EXPECT_GT(r.resp_ms, 10.0);
+  EXPECT_LT(r.resp_ms, 500.0);
+  EXPECT_GT(r.cpu_util, 0.3);
+  EXPECT_LT(r.cpu_util_max, 1.0);
+  for (double h : r.hit_ratio) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+  // HISTORY: blocking factor 20 -> 95% hits (every 20th access allocates).
+  EXPECT_NEAR(r.hit_ratio[DebitCreditIds::kHistory], 0.95, 0.01);
+  // ACCOUNT is far too large to cache.
+  EXPECT_LT(r.hit_ratio[DebitCreditIds::kAccount], 0.02);
+
+  if (nodes == 1) {
+    EXPECT_EQ(r.messages_per_txn, 0.0);  // no partner to talk to
+  }
+  if (coupling == Coupling::GemLocking) {
+    EXPECT_GT(sys.gem().entry_ops(), 0u);  // GLT in GEM is exercised
+    EXPECT_LT(r.gem_util, 0.05);           // paper: < 2% even at 1000 TPS
+    EXPECT_DOUBLE_EQ(r.local_lock_fraction, 1.0);
+  } else {
+    EXPECT_EQ(sys.gem().entry_ops(), 0u);  // loose coupling never touches GEM
+    if (nodes > 1 && routing == Routing::Affinity) {
+      // Coordinated GLA + routing keeps almost all locks local.
+      EXPECT_GT(r.local_lock_fraction, 0.9);
+    }
+    if (nodes > 1 && routing == Routing::Random) {
+      EXPECT_LT(r.local_lock_fraction, 0.7);
+      EXPECT_GT(r.messages_per_txn, 1.0);
+    }
+  }
+  if (update == UpdateStrategy::Force) {
+    // Three modified pages force-written per transaction.
+    EXPECT_NEAR(r.force_writes_per_txn, 3.0, 0.1);
+  } else {
+    EXPECT_EQ(r.force_writes_per_txn, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CouplingUpdateRouting, FullSystem,
+    ::testing::Combine(
+        ::testing::Values(Coupling::GemLocking, Coupling::PrimaryCopy),
+        ::testing::Values(UpdateStrategy::NoForce, UpdateStrategy::Force),
+        ::testing::Values(Routing::Affinity, Routing::Random),
+        ::testing::Values(1, 3)),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string s = to_string(std::get<0>(info.param));
+      s += "_";
+      s += to_string(std::get<1>(info.param));
+      s += "_";
+      s += to_string(std::get<2>(info.param));
+      s += "_N";
+      s += std::to_string(std::get<3>(info.param));
+      return s;
+    });
+
+TEST(SystemDeterminism, SameSeedSameResult) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 2;
+  cfg.coupling = Coupling::PrimaryCopy;
+  cfg.routing = Routing::Random;
+  const RunResult a = run_debit_credit(cfg);
+  const RunResult b = run_debit_credit(cfg);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_DOUBLE_EQ(a.resp_ms, b.resp_ms);
+  EXPECT_DOUBLE_EQ(a.cpu_util, b.cpu_util);
+}
+
+TEST(SystemDeterminism, DifferentSeedDifferentSample) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 2;
+  const RunResult a = run_debit_credit(cfg);
+  cfg.seed = 777;
+  const RunResult b = run_debit_credit(cfg);
+  EXPECT_NE(a.resp_ms, b.resp_ms);
+}
+
+TEST(System, GemAllocationEliminatesBranchTellerDiskIO) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 2;
+  cfg.update = UpdateStrategy::Force;
+  cfg.routing = Routing::Random;
+  cfg.partitions[DebitCreditIds::kBranchTeller].storage = StorageKind::Gem;
+  System sys(cfg, make_debit_credit_workload(cfg));
+  const RunResult r = sys.run();
+  EXPECT_GT(r.commits, 100u);
+  EXPECT_EQ(sys.storage().group(DebitCreditIds::kBranchTeller), nullptr);
+  EXPECT_GT(sys.gem().page_ops(), 0u);  // B/T reads + force-writes go to GEM
+}
+
+TEST(System, NonVolatileDiskCacheAbsorbsForceWrites) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 2;
+  cfg.update = UpdateStrategy::Force;
+  cfg.routing = Routing::Random;
+  cfg.partitions[DebitCreditIds::kBranchTeller].storage =
+      StorageKind::DiskNvCache;
+  System sys(cfg, make_debit_credit_workload(cfg));
+  const RunResult r = sys.run();
+  EXPECT_GT(r.commits, 100u);
+  auto* grp = sys.storage().group(DebitCreditIds::kBranchTeller);
+  ASSERT_NE(grp, nullptr);
+  ASSERT_TRUE(grp->has_cache());
+  // With all B/T pages cached, reads hit the shared cache.
+  EXPECT_GT(grp->cache()->hits(), 0u);
+}
+
+TEST(System, TpcScalingGrowsDatabaseWithNodes) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 7;
+  EXPECT_EQ(cfg.partition_pages(DebitCreditIds::kBranchTeller), 700);
+  EXPECT_EQ(cfg.partition_pages(DebitCreditIds::kAccount), 7000000);
+}
+
+TEST(System, StatsResetClearsWarmupArtifacts) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 1;
+  System sys(cfg, make_debit_credit_workload(cfg));
+  sys.start_source();
+  sys.run_until(1.0);
+  EXPECT_GT(sys.metrics().commits.value(), 0u);
+  sys.reset_stats();
+  EXPECT_EQ(sys.metrics().commits.value(), 0u);
+  sys.run_until(2.0);
+  EXPECT_GT(sys.metrics().commits.value(), 0u);
+}
+
+TEST(System, ThroughputScalesLinearlyWithNodesForAffinity) {
+  SystemConfig cfg = base_cfg();
+  cfg.routing = Routing::Affinity;
+  cfg.nodes = 1;
+  const RunResult r1 = run_debit_credit(cfg);
+  cfg.nodes = 4;
+  const RunResult r4 = run_debit_credit(cfg);
+  EXPECT_NEAR(r4.throughput / r1.throughput, 4.0, 0.5);
+  // Paper headline: response times stay ~constant under affinity routing.
+  EXPECT_NEAR(r4.resp_ms, r1.resp_ms, r1.resp_ms * 0.25);
+}
+
+TEST(System, MplLimitsConcurrency) {
+  SystemConfig cfg = base_cfg();
+  cfg.nodes = 1;
+  cfg.mpl = 2;  // artificially tight: input queue must form
+  System sys(cfg, make_debit_credit_workload(cfg));
+  const RunResult r = sys.run();
+  EXPECT_GT(sys.metrics().mpl_wait.mean(), 0.0);
+  EXPECT_GT(r.brk_queue_ms, 0.0);
+}
+
+TEST(System, TraceWorkloadEndToEnd) {
+  // Small synthetic trace through the full trace harness path.
+  sim::Rng trng(11);
+  workload::SyntheticTraceConfig tc;
+  tc.transactions = 1500;
+  const workload::Trace trace = workload::generate_synthetic_trace(tc, trng);
+  SystemConfig cfg = make_trace_config(trace);
+  cfg.nodes = 2;
+  cfg.coupling = Coupling::PrimaryCopy;
+  cfg.routing = Routing::Affinity;
+  cfg.warmup = 2.0;
+  cfg.measure = 6.0;
+  System sys(cfg, make_trace_workload(cfg, trace));
+  const RunResult r = sys.run();
+  EXPECT_GT(r.commits, 100u);
+  EXPECT_EQ(sys.metrics().coherency_violations.value(), 0u);
+  EXPECT_GT(r.local_lock_fraction, 0.5);
+  EXPECT_GT(r.resp_norm_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace gemsd

@@ -1,0 +1,215 @@
+// Unit tests for the workload layer: debit-credit generator (TPC rules,
+// clustering, deadlock-free order), routers, GLA maps, trace format I/O and
+// the allocation heuristics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config.hpp"
+#include "workload/debit_credit.hpp"
+#include "workload/trace.hpp"
+
+namespace gemsd::workload {
+namespace {
+
+using Ids = DebitCreditIds;
+
+TEST(DebitCredit, TxnShape) {
+  sim::Rng rng(1);
+  DebitCreditGenerator gen(4);
+  for (int i = 0; i < 200; ++i) {
+    const TxnSpec t = gen.next(rng);
+    ASSERT_EQ(t.refs.size(), 4u);
+    EXPECT_EQ(t.refs[0].page.partition, Ids::kAccount);
+    EXPECT_EQ(t.refs[1].page.partition, Ids::kHistory);
+    EXPECT_EQ(t.refs[1].page.page, kAppendPage);
+    EXPECT_EQ(t.refs[2].page.partition, Ids::kBranchTeller);
+    // TELLER and BRANCH live in the same clustered page.
+    EXPECT_EQ(t.refs[2].page, t.refs[3].page);
+    EXPECT_EQ(t.refs[2].page.page, t.affinity_key);
+    for (const auto& r : t.refs) EXPECT_TRUE(r.write);
+  }
+}
+
+TEST(DebitCredit, EightyFifteenAccountRule) {
+  sim::Rng rng(2);
+  DebitCreditGenerator gen(4);
+  int local = 0;
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const TxnSpec t = gen.next(rng);
+    const std::int64_t acct_branch =
+        t.refs[0].page.page * Ids::kAccountsPerPage / Ids::kAccountsPerBranch;
+    if (acct_branch == t.affinity_key) ++local;
+  }
+  EXPECT_NEAR(static_cast<double>(local) / kN, 0.85, 0.01);
+}
+
+TEST(DebitCredit, BranchesUniformAcrossScaledDatabase) {
+  sim::Rng rng(3);
+  DebitCreditGenerator gen(5);  // 500 branches
+  std::vector<int> node_count(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const TxnSpec t = gen.next(rng);
+    ASSERT_LT(t.affinity_key, 500);
+    ++node_count[static_cast<std::size_t>(t.affinity_key / 100)];
+  }
+  for (int c : node_count) EXPECT_NEAR(c, 4000, 400);
+}
+
+TEST(DebitCredit, GlaMapPartitionsByBranchBlocks) {
+  DebitCreditGlaMap gla(4);
+  // Branch pages 0..99 -> node 0, 100..199 -> node 1, ...
+  EXPECT_EQ(gla.gla(PageId{Ids::kBranchTeller, 0}), 0);
+  EXPECT_EQ(gla.gla(PageId{Ids::kBranchTeller, 150}), 1);
+  EXPECT_EQ(gla.gla(PageId{Ids::kBranchTeller, 399}), 3);
+  // Account pages follow their branch: branch b covers accounts
+  // [b*100000, (b+1)*100000) = pages [b*10000, (b+1)*10000).
+  EXPECT_EQ(gla.gla(PageId{Ids::kAccount, 5000}), 0);      // branch 0
+  EXPECT_EQ(gla.gla(PageId{Ids::kAccount, 1050000}), 1);   // branch 105
+  EXPECT_EQ(gla.gla(PageId{Ids::kAccount, 3999999}), 3);   // branch 399
+}
+
+TEST(DebitCredit, AffinityRouterMatchesGla) {
+  sim::Rng rng(4);
+  DebitCreditGenerator gen(8);
+  DebitCreditGlaMap gla(8);
+  auto router = make_debit_credit_router(Routing::Affinity, 8);
+  for (int i = 0; i < 2000; ++i) {
+    const TxnSpec t = gen.next(rng);
+    const NodeId n = router->route(t, rng);
+    EXPECT_EQ(n, gla.gla(PageId{Ids::kBranchTeller, t.affinity_key}));
+  }
+}
+
+TEST(Router, RandomIsRoundRobinBalanced) {
+  sim::Rng rng(5);
+  RandomRouter r(3);
+  std::vector<int> counts(3, 0);
+  TxnSpec t;
+  for (int i = 0; i < 99; ++i) ++counts[static_cast<std::size_t>(r.route(t, rng))];
+  EXPECT_EQ(counts, (std::vector<int>{33, 33, 33}));
+}
+
+TEST(Router, TableRouterFollowsShares) {
+  sim::Rng rng(6);
+  TableRouter r({{0.25, 0.75}});
+  TxnSpec t;
+  t.type = 0;
+  int n1 = 0;
+  for (int i = 0; i < 20000; ++i) n1 += r.route(t, rng);
+  EXPECT_NEAR(n1 / 20000.0, 0.75, 0.02);
+}
+
+Trace tiny_trace() {
+  Trace tr;
+  tr.num_types = 2;
+  tr.num_files = 3;
+  TxnSpec a;
+  a.type = 0;
+  a.affinity_key = 0;
+  a.refs = {{PageId{0, 1}, false}, {PageId{1, 2}, true}};
+  TxnSpec b;
+  b.type = 1;
+  b.affinity_key = 1;
+  b.refs = {{PageId{2, 7}, false}};
+  tr.txns = {a, b, a};
+  return tr;
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const Trace tr = tiny_trace();
+  std::stringstream ss;
+  tr.save(ss);
+  const Trace back = Trace::load(ss);
+  ASSERT_EQ(back.txns.size(), 3u);
+  EXPECT_EQ(back.num_types, 2);
+  EXPECT_EQ(back.num_files, 3);
+  EXPECT_EQ(back.txns[0].refs.size(), 2u);
+  EXPECT_EQ(back.txns[0].refs[1].page, (PageId{1, 2}));
+  EXPECT_TRUE(back.txns[0].refs[1].write);
+  EXPECT_FALSE(back.txns[2].refs[0].write);
+  EXPECT_EQ(back.txns[1].type, 1);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-trace 9");
+  EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+TEST(Trace, StatsComputation) {
+  const TraceStats s = compute_stats(tiny_trace());
+  EXPECT_EQ(s.transactions, 3u);
+  EXPECT_EQ(s.references, 5u);
+  EXPECT_EQ(s.distinct_pages, 3u);
+  EXPECT_EQ(s.largest_txn, 2u);
+  EXPECT_NEAR(s.write_ref_fraction, 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(s.update_txn_fraction, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, ReplayPreservesOrderAndCycles) {
+  const Trace tr = tiny_trace();
+  TraceWorkload w(tr);
+  sim::Rng rng(1);
+  EXPECT_EQ(w.next(rng).type, 0);
+  EXPECT_EQ(w.next(rng).type, 1);
+  EXPECT_EQ(w.next(rng).type, 0);
+  EXPECT_EQ(w.next(rng).type, 0);  // wrapped around
+}
+
+TEST(Heuristics, AffinityRoutingBalancesLoad) {
+  Trace tr = tiny_trace();
+  // Inflate: type 0 heavy on file 0/1, type 1 on file 2.
+  tr.txns.clear();
+  for (int i = 0; i < 100; ++i) {
+    TxnSpec a;
+    a.type = 0;
+    a.refs.assign(10, PageRef{PageId{0, i}, false});
+    tr.txns.push_back(a);
+    TxnSpec b;
+    b.type = 1;
+    b.refs.assign(10, PageRef{PageId{2, i}, false});
+    tr.txns.push_back(b);
+  }
+  const auto prof = profile_trace(tr);
+  const auto share = make_affinity_routing(prof, 2);
+  ASSERT_EQ(share.size(), 2u);
+  for (const auto& row : share) {
+    double s = 0;
+    for (double v : row) s += v;
+    EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+  // Equal loads, disjoint files: each type should be concentrated on its own
+  // node (affinity), and the two types on different nodes (balance).
+  const auto dominant = [](const std::vector<double>& row) {
+    return row[0] > row[1] ? 0 : 1;
+  };
+  EXPECT_NE(dominant(share[0]), dominant(share[1]));
+  EXPECT_GT(std::max(share[0][0], share[0][1]), 0.9);
+}
+
+TEST(Heuristics, GlaFollowsRouting) {
+  Trace tr;
+  tr.num_types = 2;
+  tr.num_files = 2;
+  for (int i = 0; i < 50; ++i) {
+    TxnSpec a;
+    a.type = 0;
+    a.refs.assign(4, PageRef{PageId{0, i}, false});
+    tr.txns.push_back(a);
+    TxnSpec b;
+    b.type = 1;
+    b.refs.assign(4, PageRef{PageId{1, i}, false});
+    tr.txns.push_back(b);
+  }
+  const auto prof = profile_trace(tr);
+  // Pin the routing: type 0 -> node 0, type 1 -> node 1.
+  const std::vector<std::vector<double>> share{{1, 0}, {0, 1}};
+  const auto gla = make_gla_assignment(prof, share, 2);
+  ASSERT_EQ(gla.size(), 2u);
+  EXPECT_EQ(gla[0], 0);  // file 0 referenced only from node 0
+  EXPECT_EQ(gla[1], 1);
+}
+
+}  // namespace
+}  // namespace gemsd::workload
