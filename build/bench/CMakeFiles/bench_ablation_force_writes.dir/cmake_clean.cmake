@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_force_writes.dir/bench_ablation_force_writes.cpp.o"
+  "CMakeFiles/bench_ablation_force_writes.dir/bench_ablation_force_writes.cpp.o.d"
+  "bench_ablation_force_writes"
+  "bench_ablation_force_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_force_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

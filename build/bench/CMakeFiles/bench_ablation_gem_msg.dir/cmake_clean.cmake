@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gem_msg.dir/bench_ablation_gem_msg.cpp.o"
+  "CMakeFiles/bench_ablation_gem_msg.dir/bench_ablation_gem_msg.cpp.o.d"
+  "bench_ablation_gem_msg"
+  "bench_ablation_gem_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gem_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gem_speed.dir/bench_ablation_gem_speed.cpp.o"
+  "CMakeFiles/bench_ablation_gem_speed.dir/bench_ablation_gem_speed.cpp.o.d"
+  "bench_ablation_gem_speed"
+  "bench_ablation_gem_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gem_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debit_credit_cluster.dir/debit_credit_cluster.cpp.o"
+  "CMakeFiles/debit_credit_cluster.dir/debit_credit_cluster.cpp.o.d"
+  "debit_credit_cluster"
+  "debit_credit_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debit_credit_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

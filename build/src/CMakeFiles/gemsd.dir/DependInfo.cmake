@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/gem_lock_protocol.cpp" "src/CMakeFiles/gemsd.dir/cc/gem_lock_protocol.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/cc/gem_lock_protocol.cpp.o.d"
+  "/root/repo/src/cc/lock_engine_protocol.cpp" "src/CMakeFiles/gemsd.dir/cc/lock_engine_protocol.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/cc/lock_engine_protocol.cpp.o.d"
+  "/root/repo/src/cc/lock_table.cpp" "src/CMakeFiles/gemsd.dir/cc/lock_table.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/cc/lock_table.cpp.o.d"
+  "/root/repo/src/cc/primary_copy_protocol.cpp" "src/CMakeFiles/gemsd.dir/cc/primary_copy_protocol.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/cc/primary_copy_protocol.cpp.o.d"
+  "/root/repo/src/cc/protocol.cpp" "src/CMakeFiles/gemsd.dir/cc/protocol.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/cc/protocol.cpp.o.d"
+  "/root/repo/src/core/analytic.cpp" "src/CMakeFiles/gemsd.dir/core/analytic.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/analytic.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/gemsd.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/config_file.cpp" "src/CMakeFiles/gemsd.dir/core/config_file.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/config_file.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/gemsd.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/gemsd.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/gemsd.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/gemsd.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/core/system.cpp.o.d"
+  "/root/repo/src/node/buffer_manager.cpp" "src/CMakeFiles/gemsd.dir/node/buffer_manager.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/node/buffer_manager.cpp.o.d"
+  "/root/repo/src/node/log_manager.cpp" "src/CMakeFiles/gemsd.dir/node/log_manager.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/node/log_manager.cpp.o.d"
+  "/root/repo/src/node/transaction_manager.cpp" "src/CMakeFiles/gemsd.dir/node/transaction_manager.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/node/transaction_manager.cpp.o.d"
+  "/root/repo/src/sim/queueing.cpp" "src/CMakeFiles/gemsd.dir/sim/queueing.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/sim/queueing.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/gemsd.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/gemsd.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/gemsd.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/gemsd.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/storage/disk.cpp" "src/CMakeFiles/gemsd.dir/storage/disk.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/storage/disk.cpp.o.d"
+  "/root/repo/src/storage/disk_cache.cpp" "src/CMakeFiles/gemsd.dir/storage/disk_cache.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/storage/disk_cache.cpp.o.d"
+  "/root/repo/src/storage/storage_manager.cpp" "src/CMakeFiles/gemsd.dir/storage/storage_manager.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/storage/storage_manager.cpp.o.d"
+  "/root/repo/src/workload/debit_credit.cpp" "src/CMakeFiles/gemsd.dir/workload/debit_credit.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/workload/debit_credit.cpp.o.d"
+  "/root/repo/src/workload/router.cpp" "src/CMakeFiles/gemsd.dir/workload/router.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/workload/router.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/gemsd.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/gemsd.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/trace_generator.cpp" "src/CMakeFiles/gemsd.dir/workload/trace_generator.cpp.o" "gcc" "src/CMakeFiles/gemsd.dir/workload/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/buffer_manager_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/buffer_manager_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/buffer_manager_test.cpp.o.d"
+  "/root/repo/tests/config_file_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/config_file_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/config_file_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/gem_usage_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/gem_usage_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/gem_usage_test.cpp.o.d"
+  "/root/repo/tests/lock_engine_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/lock_engine_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/lock_engine_test.cpp.o.d"
+  "/root/repo/tests/lock_table_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/lock_table_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/lock_table_test.cpp.o.d"
+  "/root/repo/tests/log_manager_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/log_manager_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/log_manager_test.cpp.o.d"
+  "/root/repo/tests/lru_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/lru_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/lru_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/protocol_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/protocol_test.cpp.o.d"
+  "/root/repo/tests/queueing_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/queueing_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/queueing_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/sim_kernel_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/sim_kernel_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/sim_kernel_test.cpp.o.d"
+  "/root/repo/tests/storage_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/storage_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/storage_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/synthetic_workload_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/synthetic_workload_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/synthetic_workload_test.cpp.o.d"
+  "/root/repo/tests/system_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/system_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/trace_generator_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/trace_generator_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/trace_generator_test.cpp.o.d"
+  "/root/repo/tests/update_lock_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/update_lock_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/update_lock_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/gemsd_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/gemsd_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gemsd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

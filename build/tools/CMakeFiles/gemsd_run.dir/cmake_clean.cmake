@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemsd_run.dir/gemsd_run.cpp.o"
+  "CMakeFiles/gemsd_run.dir/gemsd_run.cpp.o.d"
+  "gemsd_run"
+  "gemsd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemsd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
