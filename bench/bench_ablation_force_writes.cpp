@@ -4,17 +4,16 @@
 // verifies it, and additionally moves the log into GEM (Section 2 names
 // GEM-resident log files as a usage form).
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
   const int n = std::min(5, opt.max_nodes);
-  std::printf("\n== Ablation: removing FORCE's remaining write delays "
-              "(GEM locking, random routing, buffer 1000, N=%d) ==\n", n);
-  std::printf("%-44s %9s %8s\n", "configuration", "resp[ms]", "fW/tx");
 
   struct Step {
     const char* label;
@@ -26,6 +25,7 @@ int main(int argc, char** argv) {
       {"+ NV cache on ACCOUNT+HISTORY (Sec 4.4)", true, true, true, false},
       {"+ log in GEM", true, true, true, true},
   };
+  std::vector<SystemConfig> cfgs;
   for (const auto& s : steps) {
     SystemConfig cfg = make_debit_credit_config();
     cfg.nodes = n;
@@ -50,9 +50,17 @@ int main(int argc, char** argv) {
       his.disk_cache_pages = 5000;
     }
     if (s.log_gem) cfg.log_storage = StorageKind::Gem;
-    const RunResult r = run_debit_credit(cfg);
-    std::printf("%-44s %9.2f %8.2f\n", s.label, r.resp_ms,
-                r.force_writes_per_txn);
+    cfgs.push_back(cfg);
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Ablation: removing FORCE's remaining write delays "
+              "(GEM locking, random routing, buffer 1000, N=%d) ==\n", n);
+  std::printf("%-44s %9s %8s\n", "configuration", "resp[ms]", "fW/tx");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    std::printf("%-44s %9.2f %8.2f\n", steps[i].label, runs[i].resp_ms,
+                runs[i].force_writes_per_txn);
   }
   std::printf("\nExpected shape: each step strips one class of synchronous "
               "write delay; the final configuration approaches NOFORCE-class "

@@ -5,8 +5,11 @@
 // what read authorizations buy on the read-dominated trace workload, where
 // 58 lock requests per transaction hammer the GLT.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "workload/trace_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -16,10 +19,15 @@ int main(int argc, char** argv) {
   sim::Rng trng(7);
   const workload::Trace trace = workload::generate_synthetic_trace({}, trng);
 
-  std::printf("\n== Ablation: GEM local read authorizations (trace workload, "
-              "50 TPS/node, NOFORCE, affinity routing) ==\n");
-  std::printf("%-6s %2s | %9s %9s %9s %8s %8s\n", "auths", "N", "resp[ms]",
-              "gltLocks", "authLocks", "gemUtil", "rev/tx");
+  // Needs System access for the lock counters, so each task builds and runs
+  // the System itself and returns the extra numbers next to the RunResult.
+  struct Row {
+    RunResult r;
+    std::uint64_t glt_locks = 0;
+    std::uint64_t auth_locks = 0;
+    bool auths = false;
+  };
+  std::vector<std::function<Row()>> tasks;
   for (bool auths : {false, true}) {
     for (int n : {2, 4, 8}) {
       if (n > opt.max_nodes) continue;
@@ -31,18 +39,32 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      System sys(cfg, make_trace_workload(cfg, trace));
-      const RunResult r = sys.run();
-      const double per_txn =
-          r.commits ? 1.0 / static_cast<double>(r.commits) : 0;
-      std::printf("%-6s %2d | %9.1f %9.2f %9.2f %7.2f%% %8.3f\n",
-                  auths ? "on" : "off", n, r.resp_ms,
-                  static_cast<double>(sys.metrics().lock_local.value()) *
-                      per_txn,
-                  static_cast<double>(sys.metrics().lock_auth_local.value()) *
-                      per_txn,
-                  r.gem_util * 100, r.revocations_per_txn);
+      tasks.push_back([cfg, auths, &trace] {
+        System sys(cfg, make_trace_workload(cfg, trace));
+        Row row;
+        row.r = sys.run();
+        row.glt_locks = sys.metrics().lock_local.value();
+        row.auth_locks = sys.metrics().lock_auth_local.value();
+        row.auths = auths;
+        return row;
+      });
     }
+  }
+  const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  std::printf("\n== Ablation: GEM local read authorizations (trace workload, "
+              "50 TPS/node, NOFORCE, affinity routing) ==\n");
+  std::printf("%-6s %2s | %9s %9s %9s %8s %8s\n", "auths", "N", "resp[ms]",
+              "gltLocks", "authLocks", "gemUtil", "rev/tx");
+  for (const Row& row : rows) {
+    const RunResult& r = row.r;
+    const double per_txn =
+        r.commits ? 1.0 / static_cast<double>(r.commits) : 0;
+    std::printf("%-6s %2d | %9.1f %9.2f %9.2f %7.2f%% %8.3f\n",
+                row.auths ? "on" : "off", r.nodes, r.resp_ms,
+                static_cast<double>(row.glt_locks) * per_txn,
+                static_cast<double>(row.auth_locks) * per_txn,
+                r.gem_util * 100, r.revocations_per_txn);
   }
   std::printf("\nExpected shape: authorizations shift most of the ~58 GLT "
               "lock operations per transaction to local processing, cutting "

@@ -4,17 +4,17 @@
 // routing, hot BRANCH/TELLER partition allocated four ways:
 // plain disks, non-volatile disk cache, GEM page cache, fully GEM-resident.
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Ablation: GEM page cache vs alternatives for B/T "
-              "(FORCE, random routing, buffer 1000) ==\n");
-  std::printf("%-18s %3s | %9s %8s %8s %8s\n", "B/T allocation", "N",
-              "resp[ms]", "gemUtil", "hit:B/T", "fW/tx");
+  std::vector<SystemConfig> cfgs;
+  std::vector<StorageKind> kinds;
   for (int n : {2, 5, 10}) {
     if (n > opt.max_nodes) continue;
     for (StorageKind k : {StorageKind::Disk, StorageKind::DiskNvCache,
@@ -31,11 +31,22 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      const RunResult r = run_debit_credit(cfg);
-      std::printf("%-18s %3d | %9.2f %7.2f%% %7.1f%% %8.2f\n", to_string(k), n,
-                  r.resp_ms, r.gem_util * 100, r.hit_ratio[0] * 100,
-                  r.force_writes_per_txn);
+      cfgs.push_back(cfg);
+      kinds.push_back(k);
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Ablation: GEM page cache vs alternatives for B/T "
+              "(FORCE, random routing, buffer 1000) ==\n");
+  std::printf("%-18s %3s | %9s %8s %8s %8s\n", "B/T allocation", "N",
+              "resp[ms]", "gemUtil", "hit:B/T", "fW/tx");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("%-18s %3d | %9.2f %7.2f%% %7.1f%% %8.2f\n",
+                to_string(kinds[i]), r.nodes, r.resp_ms, r.gem_util * 100,
+                r.hit_ratio[0] * 100, r.force_writes_per_txn);
   }
   std::printf("\nExpected shape: the GEM page cache matches the non-volatile "
               "disk cache and the GEM residence (all three absorb the "

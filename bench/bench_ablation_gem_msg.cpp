@@ -9,29 +9,29 @@
 //      messaging, unchanged DBMS protocol),
 //   3. GEM locking (the paper's full close coupling).
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Ablation: messages across GEM vs network (debit-credit, "
-              "random routing, NOFORCE, buffer 1000) ==\n");
-  std::printf("%-26s %3s | %9s %7s %7s %7s %9s\n", "configuration", "N",
-              "resp[ms]", "cpu", "gem", "net", "tps80/nd");
+  struct Variant {
+    const char* label;
+    Coupling coupling;
+    MsgTransport transport;
+  };
+  const Variant variants[] = {
+      {"PCL / network msgs", Coupling::PrimaryCopy, MsgTransport::Network},
+      {"PCL / GEM msgs", Coupling::PrimaryCopy, MsgTransport::GemStore},
+      {"GEM locking", Coupling::GemLocking, MsgTransport::Network},
+  };
+  std::vector<SystemConfig> cfgs;
+  std::vector<const char*> labels;
   for (int n : {2, 5, 10}) {
     if (n > opt.max_nodes) continue;
-    struct Variant {
-      const char* label;
-      Coupling coupling;
-      MsgTransport transport;
-    };
-    const Variant variants[] = {
-        {"PCL / network msgs", Coupling::PrimaryCopy, MsgTransport::Network},
-        {"PCL / GEM msgs", Coupling::PrimaryCopy, MsgTransport::GemStore},
-        {"GEM locking", Coupling::GemLocking, MsgTransport::Network},
-    };
     for (const auto& v : variants) {
       SystemConfig cfg = make_debit_credit_config();
       cfg.nodes = n;
@@ -43,11 +43,22 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      const RunResult r = run_debit_credit(cfg);
-      std::printf("%-26s %3d | %9.2f %6.1f%% %6.2f%% %6.1f%% %9.1f\n",
-                  v.label, n, r.resp_ms, r.cpu_util * 100, r.gem_util * 100,
-                  r.net_util * 100, r.tps_per_node_at_80);
+      cfgs.push_back(cfg);
+      labels.push_back(v.label);
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Ablation: messages across GEM vs network (debit-credit, "
+              "random routing, NOFORCE, buffer 1000) ==\n");
+  std::printf("%-26s %3s | %9s %7s %7s %7s %9s\n", "configuration", "N",
+              "resp[ms]", "cpu", "gem", "net", "tps80/nd");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("%-26s %3d | %9.2f %6.1f%% %6.2f%% %6.1f%% %9.1f\n",
+                labels[i], r.nodes, r.resp_ms, r.cpu_util * 100,
+                r.gem_util * 100, r.net_util * 100, r.tps_per_node_at_80);
   }
   std::printf("\nExpected shape: GEM messaging removes most of PCL's CPU "
               "overhead and delay, landing between loose coupling and GEM "

@@ -5,17 +5,17 @@
 // and 4 lock operations per debit-credit transaction, slow entries turn the
 // coupling facility into the bottleneck the paper's GEM avoids.
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Ablation: GEM entry access time (GEM locking, random "
-              "routing, NOFORCE, buffer 200) ==\n");
-  std::printf("%5s %12s | %9s %8s %8s %9s\n", "N", "entry[us]", "resp[ms]",
-              "gemUtil", "cpu", "tps");
+  std::vector<SystemConfig> cfgs;
+  std::vector<double> entry_us;
   for (int n : {5, 10}) {
     if (n > opt.max_nodes) continue;
     for (double us : {2.0, 20.0, 100.0, 250.0, 500.0}) {
@@ -28,10 +28,22 @@ int main(int argc, char** argv) {
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
       cfg.gem.entry_access = us * 1e-6;
-      const RunResult r = run_debit_credit(cfg);
-      std::printf("%5d %12.0f | %9.2f %7.2f%% %7.1f%% %9.1f\n", n, us,
-                  r.resp_ms, r.gem_util * 100, r.cpu_util * 100, r.throughput);
+      cfgs.push_back(cfg);
+      entry_us.push_back(us);
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Ablation: GEM entry access time (GEM locking, random "
+              "routing, NOFORCE, buffer 200) ==\n");
+  std::printf("%5s %12s | %9s %8s %8s %9s\n", "N", "entry[us]", "resp[ms]",
+              "gemUtil", "cpu", "tps");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("%5d %12.0f | %9.2f %7.2f%% %7.1f%% %9.1f\n", r.nodes,
+                entry_us[i], r.resp_ms, r.gem_util * 100, r.cpu_util * 100,
+                r.throughput);
   }
   std::printf("\nPaper context: GEM locking at 2 us/entry kept GEM utilization "
               "< 2%% at 1000 TPS; [Yu87]-class lock engines (100-500 us) "

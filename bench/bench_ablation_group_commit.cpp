@@ -4,18 +4,25 @@
 // or higher rates push rho past 1 and the commit path collapses. Group
 // commit batches concurrent committers into one physical write.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "core/system.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Ablation: group commit (debit-credit, 1 node, 1 log "
-              "disk, 8 CPUs, NOFORCE) ==\n");
-  std::printf("%6s %-6s | %9s %9s %9s %10s\n", "TPS", "group", "resp[ms]",
-              "tput", "logUtil", "txns/flush");
+  struct Row {
+    RunResult r;
+    double tps = 0;
+    bool group = false;
+    double log_util = 0;
+    double batching = 0;
+  };
+  std::vector<std::function<Row()>> tasks;
   for (double tps : {100.0, 150.0, 200.0, 300.0}) {
     for (bool group : {false, true}) {
       SystemConfig cfg = make_debit_credit_config();
@@ -27,13 +34,28 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      System sys(cfg, make_debit_credit_workload(cfg));
-      const RunResult r = sys.run();
-      std::printf("%6.0f %-6s | %9.2f %9.1f %8.1f%% %10.2f\n", tps,
-                  group ? "on" : "off", r.resp_ms, r.throughput,
-                  sys.storage().log_group(0).arm_utilization() * 100,
-                  sys.log(0).batching_factor());
+      tasks.push_back([cfg, tps, group] {
+        System sys(cfg, make_debit_credit_workload(cfg));
+        Row row;
+        row.r = sys.run();
+        row.tps = tps;
+        row.group = group;
+        row.log_util = sys.storage().log_group(0).arm_utilization();
+        row.batching = sys.log(0).batching_factor();
+        return row;
+      });
     }
+  }
+  const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  std::printf("\n== Ablation: group commit (debit-credit, 1 node, 1 log "
+              "disk, 8 CPUs, NOFORCE) ==\n");
+  std::printf("%6s %-6s | %9s %9s %9s %10s\n", "TPS", "group", "resp[ms]",
+              "tput", "logUtil", "txns/flush");
+  for (const Row& row : rows) {
+    std::printf("%6.0f %-6s | %9.2f %9.1f %8.1f%% %10.2f\n", row.tps,
+                row.group ? "on" : "off", row.r.resp_ms, row.r.throughput,
+                row.log_util * 100, row.batching);
   }
   std::printf("\nExpected shape: without group commit the single log disk "
               "saturates between 150 and 200 TPS (response times explode, "

@@ -5,16 +5,16 @@
 // remained very high". Sweeping that constant shows where PCL would catch up
 // with GEM locking.
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
   const int n = std::min(10, opt.max_nodes);
-  std::printf("\n== Ablation: message CPU cost (PCL vs GEM, random routing, "
-              "NOFORCE, N=%d, buffer 200) ==\n", n);
 
   SystemConfig gem_cfg = make_debit_credit_config();
   gem_cfg.nodes = n;
@@ -22,20 +22,34 @@ int main(int argc, char** argv) {
   gem_cfg.routing = Routing::Random;
   gem_cfg.warmup = opt.warmup;
   gem_cfg.measure = opt.measure;
-  const RunResult gem = run_debit_credit(gem_cfg);
+
+  // Submit the GEM baseline and the PCL sweep as one batch.
+  const double instr_steps[] = {5000.0, 2500.0, 1000.0, 250.0};
+  std::vector<SystemConfig> cfgs;
+  cfgs.push_back(gem_cfg);
+  for (double instr : instr_steps) {
+    SystemConfig cfg = gem_cfg;
+    cfg.coupling = Coupling::PrimaryCopy;
+    cfg.comm.short_instr = instr;
+    cfg.comm.long_instr = instr * 8.0 / 5.0;  // keep the paper's ratio
+    cfgs.push_back(cfg);
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Ablation: message CPU cost (PCL vs GEM, random routing, "
+              "NOFORCE, N=%d, buffer 200) ==\n", n);
+  const RunResult& gem = runs[0];
   std::printf("GEM locking baseline: resp %.2f ms, tps80/node %.1f\n\n",
               gem.resp_ms, gem.tps_per_node_at_80);
 
   std::printf("%14s | %9s %8s %8s %9s\n", "instr/short", "resp[ms]", "cpu",
               "cpuMax", "tps80/nd");
-  for (double instr : {5000.0, 2500.0, 1000.0, 250.0}) {
-    SystemConfig cfg = gem_cfg;
-    cfg.coupling = Coupling::PrimaryCopy;
-    cfg.comm.short_instr = instr;
-    cfg.comm.long_instr = instr * 8.0 / 5.0;  // keep the paper's ratio
-    const RunResult r = run_debit_credit(cfg);
-    std::printf("%14.0f | %9.2f %7.1f%% %7.1f%% %9.1f\n", instr, r.resp_ms,
-                r.cpu_util * 100, r.cpu_util_max * 100, r.tps_per_node_at_80);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const RunResult& r = runs[i + 1];
+    std::printf("%14.0f | %9.2f %7.1f%% %7.1f%% %9.1f\n", instr_steps[i],
+                r.resp_ms, r.cpu_util * 100, r.cpu_util_max * 100,
+                r.tps_per_node_at_80);
   }
   return 0;
 }

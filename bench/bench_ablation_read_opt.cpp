@@ -4,8 +4,10 @@
 // authorizations, 78% -> 65% and 65% -> 33%. This bench regenerates that
 // comparison on the synthetic trace.
 #include <cstdio>
+#include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "workload/trace_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -15,10 +17,8 @@ int main(int argc, char** argv) {
   sim::Rng trng(7);
   const workload::Trace trace = workload::generate_synthetic_trace({}, trng);
 
-  std::printf("\n== Ablation: PCL read optimization (trace workload, "
-              "50 TPS/node, NOFORCE) ==\n");
-  std::printf("%-9s %-9s %2s | %8s %9s %7s %8s\n", "readOpt", "routing", "N",
-              "locLck", "resp[ms]", "msg/tx", "rev/tx");
+  std::vector<SystemConfig> cfgs;
+  std::vector<bool> opts_read;
   for (bool read_opt : {false, true}) {
     for (Routing ro : {Routing::Affinity, Routing::Random}) {
       for (int n : {2, 4, 8}) {
@@ -31,13 +31,24 @@ int main(int argc, char** argv) {
         cfg.warmup = opt.warmup;
         cfg.measure = opt.measure;
         cfg.seed = opt.seed;
-        const RunResult r = run_trace(cfg, trace);
-        std::printf("%-9s %-9s %2d | %7.1f%% %9.1f %7.2f %8.3f\n",
-                    read_opt ? "on" : "off", to_string(ro), n,
-                    r.local_lock_fraction * 100, r.resp_ms,
-                    r.messages_per_txn, r.revocations_per_txn);
+        cfgs.push_back(cfg);
+        opts_read.push_back(read_opt);
       }
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_trace(std::move(cfgs), trace);
+
+  std::printf("\n== Ablation: PCL read optimization (trace workload, "
+              "50 TPS/node, NOFORCE) ==\n");
+  std::printf("%-9s %-9s %2s | %8s %9s %7s %8s\n", "readOpt", "routing", "N",
+              "locLck", "resp[ms]", "msg/tx", "rev/tx");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("%-9s %-9s %2d | %7.1f%% %9.1f %7.2f %8.3f\n",
+                opts_read[i] ? "on" : "off", to_string(r.routing), r.nodes,
+                r.local_lock_fraction * 100, r.resp_ms, r.messages_per_txn,
+                r.revocations_per_txn);
   }
   return 0;
 }

@@ -5,7 +5,11 @@
 // paper — debit-credit's fixed reference order makes it deadlock-free, but
 // general workloads are not.)
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "core/system.hpp"
 #include "workload/workload.hpp"
 
@@ -33,9 +37,9 @@ struct NullGen : workload::WorkloadGenerator {
 };
 
 struct Row {
-  std::uint64_t deadlocks;
-  double resp_ms;
-  double wall_ms;
+  std::uint64_t deadlocks = 0;
+  double resp_ms = 0;
+  double wall_ms = 0;
 };
 
 Row run(Coupling c, bool intent, int hot_pages, int txns) {
@@ -72,15 +76,27 @@ Row run(Coupling c, bool intent, int hot_pages, int txns) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  std::vector<std::function<Row()>> tasks;
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    for (int hot : {4, 32, 256}) {
+      for (bool intent : {false, true}) {
+        tasks.push_back([c, hot, intent] { return run(c, intent, hot, 800); });
+      }
+    }
+  }
+  const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
   std::printf("\n== Ablation: update-mode locks vs R->W upgrades "
               "(read-modify-write, 800 txns, 4 nodes) ==\n");
   std::printf("%-5s %-8s %9s | %10s %9s %10s\n", "mode", "locking", "hotset",
               "deadlocks", "resp[ms]", "drain[ms]");
+  std::size_t i = 0;
   for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
     for (int hot : {4, 32, 256}) {
       for (bool intent : {false, true}) {
-        const Row r = run(c, intent, hot, 800);
+        const Row& r = rows[i++];
         std::printf("%-5s %-8s %9d | %10llu %9.1f %10.0f\n",
                     intent ? "U" : "R->W", to_string(c), hot,
                     static_cast<unsigned long long>(r.deadlocks), r.resp_ms,

@@ -5,9 +5,11 @@
 // node's owned pages need REDO) vs loose coupling (the failed node's lock
 // authority is gone; its whole partition freezes until reconstructed).
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
@@ -16,6 +18,46 @@ int main(int argc, char** argv) {
   const double kFailAt = 10.0;
   const double kEnd = 22.0;
   const double kBucket = 1.0;
+
+  struct Timeline {
+    std::vector<double> buckets;
+    std::uint64_t lost = 0;
+    double rec_time = 0;
+  };
+  std::vector<std::function<Timeline()>> tasks;
+  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
+    SystemConfig cfg = make_debit_credit_config();
+    cfg.nodes = 4;
+    cfg.coupling = c;
+    cfg.update = UpdateStrategy::NoForce;
+    cfg.routing = Routing::Affinity;
+    cfg.seed = opt.seed;
+    tasks.push_back([cfg, kFailAt, kEnd, kBucket] {
+      System sys(cfg, make_debit_credit_workload(cfg));
+      sys.start_source();
+      Timeline tl;
+      std::uint64_t last = 0;
+      bool failed = false;
+      for (double t = kBucket; t <= kEnd + 1e-9; t += kBucket) {
+        if (!failed && t > kFailAt) {
+          sys.run_until(kFailAt);
+          sys.fail_node(1);
+          failed = true;
+        }
+        sys.run_until(t);
+        const auto now = sys.metrics().commits.value();
+        tl.buckets.push_back(static_cast<double>(now - last) / kBucket);
+        last = now;
+      }
+      tl.lost = sys.metrics().lost_txns.value();
+      tl.rec_time = sys.metrics().recovery_time.count()
+                        ? sys.metrics().recovery_time.mean()
+                        : 0.0;
+      return tl;
+    });
+  }
+  const std::vector<Timeline> timelines =
+      SweepRunner(opt.jobs).map(std::move(tasks));
 
   std::printf("\n== Availability: node 1 of 4 crashes at t=%.0fs "
               "(debit-credit, NOFORCE, affinity, 100 TPS/node) ==\n", kFailAt);
@@ -26,50 +68,17 @@ int main(int argc, char** argv) {
   }
   std::printf("   (committed txns per second bucket)\n");
 
-  std::vector<std::vector<double>> series;
-  std::vector<std::uint64_t> lost;
-  std::vector<double> rec_time;
-  for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
-    SystemConfig cfg = make_debit_credit_config();
-    cfg.nodes = 4;
-    cfg.coupling = c;
-    cfg.update = UpdateStrategy::NoForce;
-    cfg.routing = Routing::Affinity;
-    cfg.seed = opt.seed;
-    System sys(cfg, make_debit_credit_workload(cfg));
-    sys.start_source();
-    std::vector<double> buckets;
-    std::uint64_t last = 0;
-    bool failed = false;
-    for (double t = kBucket; t <= kEnd + 1e-9; t += kBucket) {
-      if (!failed && t > kFailAt) {
-        sys.run_until(kFailAt);
-        sys.fail_node(1);
-        failed = true;
-      }
-      sys.run_until(t);
-      const auto now = sys.metrics().commits.value();
-      buckets.push_back(static_cast<double>(now - last) / kBucket);
-      last = now;
-    }
-    series.push_back(buckets);
-    lost.push_back(sys.metrics().lost_txns.value());
-    rec_time.push_back(sys.metrics().recovery_time.count()
-                           ? sys.metrics().recovery_time.mean()
-                           : 0.0);
-  }
-
-  for (std::size_t b = 0; b < series[0].size(); ++b) {
+  for (std::size_t b = 0; b < timelines[0].buckets.size(); ++b) {
     std::printf("%5.0f", (b + 1) * kBucket);
-    for (const auto& s : series) std::printf(" %12.0f", s[b]);
+    for (const auto& tl : timelines) std::printf(" %12.0f", tl.buckets[b]);
     std::printf("%s\n",
                 (b + 1) * kBucket == kFailAt + 1 ? "   <- crash window" : "");
   }
   std::printf("\nlost in-flight txns: GEM %llu, PCL %llu; "
               "recovery (detect+redo[+rebuild]): GEM %.2fs, PCL %.2fs\n",
-              static_cast<unsigned long long>(lost[0]),
-              static_cast<unsigned long long>(lost[1]), rec_time[0],
-              rec_time[1]);
+              static_cast<unsigned long long>(timelines[0].lost),
+              static_cast<unsigned long long>(timelines[1].lost),
+              timelines[0].rec_time, timelines[1].rec_time);
   std::printf("\nExpected shape: both dip to ~3/4 throughput while the node "
               "is down; PCL additionally stalls every transaction touching "
               "the dead node's lock partition until the authority is "

@@ -9,12 +9,13 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::vector<RunResult> runs;
+  std::vector<SystemConfig> cfgs;
   for (Routing routing : {Routing::Affinity, Routing::Random}) {
     for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
       for (int n : {1, 2, 3, 5, 7, 10}) {
@@ -28,10 +29,12 @@ int main(int argc, char** argv) {
         cfg.warmup = opt.warmup;
         cfg.measure = opt.measure;
         cfg.seed = opt.seed;
-        runs.push_back(run_debit_credit(cfg));
+        cfgs.push_back(cfg);
       }
     }
   }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
   if (opt.csv) {
     print_csv(runs, debit_credit_partition_names());
   } else {

@@ -10,13 +10,17 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
+  // Both update strategies go into one sweep; the per-strategy tables below
+  // print in the same order as the serial loops did.
+  std::vector<SystemConfig> cfgs;
+  std::size_t per_strategy = 0;
   for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
-    std::vector<RunResult> runs;
     for (StorageKind bt : {StorageKind::Disk, StorageKind::Gem}) {
       for (Routing routing : {Routing::Affinity, Routing::Random}) {
         for (int n : {1, 2, 3, 5, 7, 10}) {
@@ -31,11 +35,21 @@ int main(int argc, char** argv) {
           cfg.warmup = opt.warmup;
           cfg.measure = opt.measure;
           cfg.seed = opt.seed;
-          RunResult r = run_debit_credit(cfg);
-          runs.push_back(r);
+          cfgs.push_back(cfg);
         }
       }
     }
+    if (upd == UpdateStrategy::NoForce) per_strategy = cfgs.size();
+  }
+  const std::vector<RunResult> all =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+    const std::size_t begin =
+        upd == UpdateStrategy::NoForce ? 0 : per_strategy;
+    const std::size_t end =
+        upd == UpdateStrategy::NoForce ? per_strategy : all.size();
+    const std::vector<RunResult> runs(all.begin() + begin, all.begin() + end);
     if (opt.csv) {
       print_csv(runs, debit_credit_partition_names());
     } else {

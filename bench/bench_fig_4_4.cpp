@@ -8,16 +8,17 @@
 // delay). A volatile cache only avoids read delays: it helps random routing
 // (buffer invalidations are satisfied from the shared cache) but is useless
 // for affinity routing where no B/T main-memory misses occur at buffer 1000.
+#include <cstdio>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::vector<RunResult> runs;
-  std::vector<std::string> labels;
+  std::vector<SystemConfig> cfgs;
   for (StorageKind bt :
        {StorageKind::Disk, StorageKind::DiskVolatileCache,
         StorageKind::DiskNvCache, StorageKind::Gem}) {
@@ -34,11 +35,12 @@ int main(int argc, char** argv) {
         cfg.warmup = opt.warmup;
         cfg.measure = opt.measure;
         cfg.seed = opt.seed;
-        runs.push_back(run_debit_credit(cfg));
-        labels.push_back(to_string(bt));
+        cfgs.push_back(cfg);
       }
     }
   }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
   if (opt.csv) {
     print_csv(runs, debit_credit_partition_names());
   } else {

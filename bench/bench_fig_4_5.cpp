@@ -11,14 +11,18 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
+  // One sweep covers all four (buffer, update) tables; block boundaries are
+  // recorded so the output below is identical to the serial version's.
+  std::vector<SystemConfig> cfgs;
+  std::vector<std::size_t> block_end;
   for (int buf : {200, 1000}) {
     for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
-      std::vector<RunResult> runs;
       for (Coupling coupling : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
         for (Routing routing : {Routing::Affinity, Routing::Random}) {
           for (int n : {1, 2, 3, 5, 7, 10}) {
@@ -32,10 +36,23 @@ int main(int argc, char** argv) {
             cfg.warmup = opt.warmup;
             cfg.measure = opt.measure;
             cfg.seed = opt.seed;
-            runs.push_back(run_debit_credit(cfg));
+            cfgs.push_back(cfg);
           }
         }
       }
+      block_end.push_back(cfgs.size());
+    }
+  }
+  const std::vector<RunResult> all =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::size_t block = 0, begin = 0;
+  for (int buf : {200, 1000}) {
+    for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
+      const std::size_t end = block_end[block++];
+      const std::vector<RunResult> runs(all.begin() + begin,
+                                        all.begin() + end);
+      begin = end;
       if (opt.csv) {
         print_csv(runs, debit_credit_partition_names());
       } else {

@@ -11,15 +11,13 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Fig 4.6: transaction rate per node at 80%% CPU "
-              "utilization (buffer 1000) ==\n");
-  std::printf("%-12s %-9s %-9s | %5s %7s %7s %9s\n", "coupling", "update",
-              "routing", "N", "cpuMax", "msg/tx", "TPS@80/node");
+  std::vector<SystemConfig> cfgs;
   for (Coupling coupling : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
     for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
       for (Routing routing : {Routing::Affinity, Routing::Random}) {
@@ -34,14 +32,23 @@ int main(int argc, char** argv) {
           cfg.warmup = opt.warmup;
           cfg.measure = opt.measure;
           cfg.seed = opt.seed;
-          const RunResult r = run_debit_credit(cfg);
-          std::printf("%-12s %-9s %-9s | %5d %6.1f%% %7.2f %9.1f\n",
-                      to_string(coupling), to_string(upd), to_string(routing),
-                      n, r.cpu_util_max * 100, r.messages_per_txn,
-                      r.tps_per_node_at_80);
+          cfgs.push_back(cfg);
         }
       }
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+
+  std::printf("\n== Fig 4.6: transaction rate per node at 80%% CPU "
+              "utilization (buffer 1000) ==\n");
+  std::printf("%-12s %-9s %-9s | %5s %7s %7s %9s\n", "coupling", "update",
+              "routing", "N", "cpuMax", "msg/tx", "TPS@80/node");
+  for (const RunResult& r : runs) {
+    std::printf("%-12s %-9s %-9s | %5d %6.1f%% %7.2f %9.1f\n",
+                to_string(r.coupling), to_string(r.update), to_string(r.routing),
+                r.nodes, r.cpu_util_max * 100, r.messages_per_txn,
+                r.tps_per_node_at_80);
   }
   return 0;
 }

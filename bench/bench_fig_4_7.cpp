@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "workload/trace_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -30,15 +31,10 @@ int main(int argc, char** argv) {
               stats.distinct_pages, stats.write_ref_fraction * 100,
               stats.update_txn_fraction * 100, stats.largest_txn);
 
-  std::vector<RunResult> runs;
   std::vector<std::string> names;
   for (int f = 0; f < trace.num_files; ++f) names.push_back("F" + std::to_string(f));
 
-  std::printf("\n== Fig 4.7: PCL vs GEM locking, real-life (synthetic) trace "
-              "(50 TPS, buffer 1000, NOFORCE) ==\n");
-  std::printf("%-12s %-9s | %2s %9s %9s %7s %7s %7s %7s %9s\n", "coupling",
-              "routing", "N", "resp[ms]", "norm[ms]", "cpuAvg", "cpuMax",
-              "locLck", "msg/tx", "TPS@80/nd");
+  std::vector<SystemConfig> cfgs;
   for (Coupling coupling : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
     for (Routing routing : {Routing::Affinity, Routing::Random}) {
       for (int n : {1, 2, 4, 6, 8}) {
@@ -50,16 +46,25 @@ int main(int argc, char** argv) {
         cfg.warmup = opt.warmup;
         cfg.measure = opt.measure;
         cfg.seed = opt.seed;
-        const RunResult r = run_trace(cfg, trace);
-        std::printf("%-12s %-9s | %2d %9.2f %9.2f %6.1f%% %6.1f%% %6.1f%% "
-                    "%7.2f %9.1f\n",
-                    to_string(coupling), to_string(routing), n, r.resp_ms,
-                    r.resp_norm_ms * 57.0, r.cpu_util * 100,
-                    r.cpu_util_max * 100, r.local_lock_fraction * 100,
-                    r.messages_per_txn, r.tps_per_node_at_80);
-        runs.push_back(r);
+        cfgs.push_back(cfg);
       }
     }
+  }
+  const std::vector<RunResult> runs =
+      SweepRunner(opt.jobs).run_trace(std::move(cfgs), trace);
+
+  std::printf("\n== Fig 4.7: PCL vs GEM locking, real-life (synthetic) trace "
+              "(50 TPS, buffer 1000, NOFORCE) ==\n");
+  std::printf("%-12s %-9s | %2s %9s %9s %7s %7s %7s %7s %9s\n", "coupling",
+              "routing", "N", "resp[ms]", "norm[ms]", "cpuAvg", "cpuMax",
+              "locLck", "msg/tx", "TPS@80/nd");
+  for (const RunResult& r : runs) {
+    std::printf("%-12s %-9s | %2d %9.2f %9.2f %6.1f%% %6.1f%% %6.1f%% "
+                "%7.2f %9.1f\n",
+                to_string(r.coupling), to_string(r.routing), r.nodes, r.resp_ms,
+                r.resp_norm_ms * 57.0, r.cpu_util * 100,
+                r.cpu_util_max * 100, r.local_lock_fraction * 100,
+                r.messages_per_txn, r.tps_per_node_at_80);
   }
   if (opt.csv) print_csv(runs, names);
   return 0;

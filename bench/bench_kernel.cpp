@@ -1,5 +1,7 @@
 // Microbenchmarks for the discrete-event kernel: raw event throughput,
-// coroutine process spawn/await cost, resource contention handling.
+// coroutine process spawn/await cost, resource contention handling, and the
+// fast-path split between handle-resume events (no allocation) and callback
+// events (side-slab std::function slots).
 #include <benchmark/benchmark.h>
 
 #include "sim/resource.hpp"
@@ -53,6 +55,43 @@ void BM_ResourceContention(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 200 * 20);
 }
 BENCHMARK(BM_ResourceContention);
+
+// Mixed workload: the realistic event stream of a full simulation —
+// coroutine resumes (page waits, CPU grants) interleaved with timer-style
+// callbacks (arrival generators). One in every `ratio` events is a callback;
+// the rest ride the allocation-free handle lane.
+void BM_MixedHandleCallback(benchmark::State& state) {
+  const int ratio = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler s;
+    long hits = 0;
+    const int procs = 50;
+    for (int p = 0; p < procs; ++p) s.spawn(hopper(s, 100));
+    for (int i = 0; i < procs * 100 / ratio; ++i) {
+      s.schedule_call(i * 1e-6, [&hits] { ++hits; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (50 * 100 + 50 * 100 / state.range(0)));
+}
+BENCHMARK(BM_MixedHandleCallback)->Arg(2)->Arg(10)->Arg(100);
+
+// Queue-depth sweep: schedule `depth` pending events before draining so the
+// heap's sift cost (log depth) and memory traffic dominate. The flat 24-byte
+// entries keep deep queues cache-resident where Ev{handle, std::function}
+// (56+ bytes, heap-backed) thrashed.
+void BM_QueueDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler s;
+    for (int p = 0; p < depth; ++p) s.spawn(hopper(s, 10));
+    s.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * depth * 10);
+}
+BENCHMARK(BM_QueueDepth)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 

@@ -7,18 +7,23 @@
 // This bench runs debit-credit/FORCE through all three coupling modes and
 // sweeps the engine's lock service time.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "cc/lock_engine_protocol.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   const BenchOptions opt = parse_bench_args(argc, argv);
 
-  std::printf("\n== Related work: central lock engine [Yu87] vs GEM locking "
-              "(debit-credit, FORCE, random routing, buffer 1000) ==\n");
-  std::printf("%-22s %3s | %9s %8s %9s %9s\n", "coupling", "N", "resp[ms]",
-              "engine", "tps", "msg/tx");
+  struct Row {
+    RunResult r;
+    double engine_util = -1;  ///< < 0: not a lock-engine run
+    double service_us = 0;
+  };
+  std::vector<std::function<Row()>> tasks;
   for (int n : {2, 5, 10}) {
     if (n > opt.max_nodes) continue;
     // Baselines.
@@ -32,9 +37,11 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      const RunResult r = run_debit_credit(cfg);
-      std::printf("%-22s %3d | %9.2f %8s %9.1f %9.2f\n", to_string(c), n,
-                  r.resp_ms, "-", r.throughput, r.messages_per_txn);
+      tasks.push_back([cfg] {
+        Row row;
+        row.r = run_debit_credit(cfg);
+        return row;
+      });
     }
     for (double us : {100.0, 200.0, 500.0}) {
       SystemConfig cfg = make_debit_credit_config();
@@ -47,11 +54,32 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      System sys(cfg, make_debit_credit_workload(cfg));
-      const RunResult r = sys.run();
-      auto& eng = static_cast<cc::LockEngineProtocol&>(sys.protocol());
+      tasks.push_back([cfg, us] {
+        System sys(cfg, make_debit_credit_workload(cfg));
+        Row row;
+        row.r = sys.run();
+        row.engine_util =
+            static_cast<cc::LockEngineProtocol&>(sys.protocol())
+                .engine_utilization();
+        row.service_us = us;
+        return row;
+      });
+    }
+  }
+  const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  std::printf("\n== Related work: central lock engine [Yu87] vs GEM locking "
+              "(debit-credit, FORCE, random routing, buffer 1000) ==\n");
+  std::printf("%-22s %3s | %9s %8s %9s %9s\n", "coupling", "N", "resp[ms]",
+              "engine", "tps", "msg/tx");
+  for (const Row& row : rows) {
+    const RunResult& r = row.r;
+    if (row.engine_util < 0) {
+      std::printf("%-22s %3d | %9.2f %8s %9.1f %9.2f\n", to_string(r.coupling),
+                  r.nodes, r.resp_ms, "-", r.throughput, r.messages_per_txn);
+    } else {
       std::printf("ENGINE %3.0fus/op       %3d | %9.2f %7.1f%% %9.1f %9.2f\n",
-                  us, n, r.resp_ms, eng.engine_utilization() * 100,
+                  row.service_us, r.nodes, r.resp_ms, row.engine_util * 100,
                   r.throughput, r.messages_per_txn);
     }
   }

@@ -3,9 +3,13 @@
 #include <cstdio>
 
 #include "core/config.hpp"
+#include "core/experiment.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gemsd;
+  // No simulations to sweep here, but accept the shared bench flags
+  // (--jobs etc.) so every harness has a uniform command line.
+  (void)parse_bench_args(argc, argv);
   const SystemConfig c = make_debit_credit_config();
 
   std::printf("== Table 4.1: parameter settings (debit-credit) ==\n");

@@ -74,6 +74,8 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       o.warmup = std::atof(a + 9);
     } else if (std::strncmp(a, "--max-nodes=", 12) == 0) {
       o.max_nodes = std::atoi(a + 12);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      o.jobs = std::atoi(a + 7);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       o.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
     } else if (std::strcmp(a, "--full") == 0) {

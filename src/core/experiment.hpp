@@ -27,12 +27,15 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///   --measure=S    measurement seconds
 ///   --warmup=S     warm-up seconds
 ///   --max-nodes=N  cap the node sweep
+///   --jobs=N       run the sweep's simulations on N worker threads
+///                  (default: hardware_concurrency; 1 = serial)
 ///   --full         verbose per-run diagnostics
 ///   --csv          machine-readable output
 struct BenchOptions {
   double warmup = 5.0;
   double measure = 20.0;
   int max_nodes = 10;
+  int jobs = 0;  ///< 0 = hardware_concurrency (see SweepRunner)
   bool full = false;
   bool csv = false;
   std::uint64_t seed = 42;

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace gemsd::sim {
 
@@ -13,14 +14,65 @@ Scheduler::~Scheduler() {
   }
 }
 
-void Scheduler::schedule(SimTime t, std::coroutine_handle<> h) {
-  assert(t >= now_);
-  pq_.push(Ev{t, seq_++, h, {}});
+void Scheduler::push(Ev ev) {
+  assert(ev.t >= now_);
+  heap_.push_back(ev);
+  // Sift up.
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Scheduler::Ev Scheduler::pop_top() {
+  const Ev top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const std::size_t r = l + 1;
+    std::size_t min = l;
+    if (r < n && before(heap_[r], heap_[l])) min = r;
+    if (!before(heap_[min], heap_[i])) break;
+    std::swap(heap_[i], heap_[min]);
+    i = min;
+  }
+  return top;
 }
 
 void Scheduler::schedule_call(SimTime t, std::function<void()> fn) {
-  assert(t >= now_);
-  pq_.push(Ev{t, seq_++, {}, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(fn));
+  }
+  push(Ev{t, (seq_++ << 1) | 1u, slot});
+}
+
+void Scheduler::dispatch(const Ev& ev) {
+  if (ev.key & 1u) {
+    // Move the callable out and recycle its slot before invoking: the
+    // callback may itself schedule_call(), which must be free to reuse it.
+    auto fn = std::move(slab_[ev.payload]);
+    slab_[ev.payload] = nullptr;
+    free_slots_.push_back(static_cast<std::uint32_t>(ev.payload));
+    fn();
+  } else {
+    std::coroutine_handle<>::from_address(
+        reinterpret_cast<void*>(ev.payload))
+        .resume();
+  }
 }
 
 void Scheduler::spawn(Task<void> t) {
@@ -35,22 +87,17 @@ void Scheduler::reap(std::coroutine_handle<> h) {
   dead_.push_back(h);
 }
 
-void Scheduler::drain_dead() {
+void Scheduler::drain_dead_slow() {
   for (auto h : dead_) h.destroy();
   dead_.clear();
 }
 
 std::uint64_t Scheduler::run_until(SimTime end) {
   std::uint64_t n = 0;
-  while (!pq_.empty() && pq_.top().t <= end) {
-    Ev ev = pq_.top();
-    pq_.pop();
+  while (!heap_.empty() && heap_.front().t <= end) {
+    const Ev ev = pop_top();
     now_ = ev.t;
-    if (ev.h) {
-      ev.h.resume();
-    } else if (ev.fn) {
-      ev.fn();
-    }
+    dispatch(ev);
     drain_dead();
     ++n;
   }
@@ -61,15 +108,10 @@ std::uint64_t Scheduler::run_until(SimTime end) {
 
 std::uint64_t Scheduler::run_all() {
   std::uint64_t n = 0;
-  while (!pq_.empty()) {
-    Ev ev = pq_.top();
-    pq_.pop();
+  while (!heap_.empty()) {
+    const Ev ev = pop_top();
     now_ = ev.t;
-    if (ev.h) {
-      ev.h.resume();
-    } else if (ev.fn) {
-      ev.fn();
-    }
+    dispatch(ev);
     drain_dead();
     ++n;
   }

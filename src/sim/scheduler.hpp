@@ -3,7 +3,6 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -16,18 +15,34 @@ namespace gemsd::sim {
 /// resumed from the central event queue; every cross-process wakeup goes
 /// through schedule(), never by resuming a handle inline. That single rule
 /// makes the simulation reentrancy-free and teardown safe.
+///
+/// The event lane is allocation-free in the common case: an event is a
+/// trivially copyable 24-byte heap entry tagged as either a coroutine resume
+/// (the payload is the handle address) or a callback (the payload indexes a
+/// side slab of std::function slots, recycled through a free list). The heap
+/// vector and the slab persist and are reused across run_until() calls, so a
+/// steady-state simulation schedules millions of events without touching the
+/// allocator.
+///
+/// A Scheduler is strictly single-threaded: exactly one thread may construct,
+/// drive and destroy it. Parallelism is across independent Scheduler
+/// instances (one per simulation run, see core/sweep.hpp), never within one.
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler() { heap_.reserve(kInitialHeapCapacity); }
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   SimTime now() const { return now_; }
 
-  /// Resume `h` at absolute time `t` (>= now).
-  void schedule(SimTime t, std::coroutine_handle<> h);
-  /// Run `fn` at absolute time `t` (timers, arrival generators hooks).
+  /// Resume `h` at absolute time `t` (>= now). Fast path: no allocation.
+  void schedule(SimTime t, std::coroutine_handle<> h) {
+    push(Ev{t, seq_++ << 1,
+            reinterpret_cast<std::uintptr_t>(h.address())});
+  }
+  /// Run `fn` at absolute time `t` (timers, arrival generators hooks). The
+  /// callable lives in the side slab until it fires; its slot is recycled.
   void schedule_call(SimTime t, std::function<void()> fn);
 
   /// Start a root process. The scheduler owns the frame; it is destroyed
@@ -40,7 +55,8 @@ class Scheduler {
   /// Process all remaining events. Returns the number processed.
   std::uint64_t run_all();
 
-  bool empty() const { return pq_.empty(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t queued_events() const { return heap_.size(); }
   std::uint64_t events_processed() const { return processed_; }
   std::size_t live_processes() const { return roots_.size(); }
 
@@ -76,22 +92,34 @@ class Scheduler {
   void reap(std::coroutine_handle<> h);
 
  private:
+  /// Flat-heap entry. `key` is (seq << 1) | is_callback: the sequence number
+  /// gives FIFO order among same-timestamp events (identical to the old
+  /// priority_queue tie-break, so event order — and therefore every
+  /// simulation result — is bit-identical), and the low tag bit selects the
+  /// payload interpretation without widening the entry.
   struct Ev {
     SimTime t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;   // either a handle...
-    std::function<void()> fn;    // ...or a callback
+    std::uint64_t key;
+    std::uintptr_t payload;  ///< handle address, or callback slab index
   };
-  struct EvLater {
-    bool operator()(const Ev& a, const Ev& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  static bool before(const Ev& a, const Ev& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.key < b.key;
+  }
 
-  void drain_dead();
+  static constexpr std::size_t kInitialHeapCapacity = 1024;
 
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> pq_;
+  void push(Ev ev);
+  Ev pop_top();
+  void dispatch(const Ev& ev);
+  void drain_dead() {
+    if (!dead_.empty()) drain_dead_slow();
+  }
+  void drain_dead_slow();
+
+  std::vector<Ev> heap_;  ///< binary min-heap ordered by (t, key)
+  std::vector<std::function<void()>> slab_;  ///< callback side slab
+  std::vector<std::uint32_t> free_slots_;    ///< recycled slab indices
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

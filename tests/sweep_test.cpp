@@ -1,0 +1,133 @@
+// SweepRunner determinism: a simulation is a pure function of its
+// SystemConfig (each run owns its Scheduler and Rng), so the same config +
+// seed must yield bit-identical RunResults whether run serially, through
+// SweepRunner with --jobs=1, or through SweepRunner with --jobs=4 — and
+// results must come back in submission order regardless of which worker
+// finished first.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/sweep.hpp"
+
+namespace gemsd {
+namespace {
+
+std::vector<SystemConfig> quick_sweep_configs() {
+  std::vector<SystemConfig> cfgs;
+  for (Routing routing : {Routing::Affinity, Routing::Random}) {
+    for (int n : {1, 2, 3}) {
+      SystemConfig cfg = make_debit_credit_config();
+      cfg.nodes = n;
+      cfg.coupling = Coupling::GemLocking;
+      cfg.update = UpdateStrategy::NoForce;
+      cfg.routing = routing;
+      cfg.warmup = 1.0;
+      cfg.measure = 3.0;
+      cfg.seed = 42;
+      cfgs.push_back(cfg);
+    }
+  }
+  return cfgs;
+}
+
+// Bit-identical comparison of every field the reports print. Doubles are
+// compared with ==: the runs must replay the exact same event sequence, not
+// merely a statistically similar one.
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.coupling, b.coupling);
+  EXPECT_EQ(a.update, b.update);
+  EXPECT_EQ(a.routing, b.routing);
+  EXPECT_EQ(a.buffer_pages, b.buffer_pages);
+  EXPECT_EQ(a.arrival_rate_per_node, b.arrival_rate_per_node);
+  EXPECT_EQ(a.resp_ms, b.resp_ms);
+  EXPECT_EQ(a.resp_ci_ms, b.resp_ci_ms);
+  EXPECT_EQ(a.resp_p95_ms, b.resp_p95_ms);
+  EXPECT_EQ(a.resp_norm_ms, b.resp_norm_ms);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.cpu_util, b.cpu_util);
+  EXPECT_EQ(a.cpu_util_max, b.cpu_util_max);
+  EXPECT_EQ(a.gem_util, b.gem_util);
+  EXPECT_EQ(a.net_util, b.net_util);
+  EXPECT_EQ(a.tps_per_node_at_80, b.tps_per_node_at_80);
+  ASSERT_EQ(a.hit_ratio.size(), b.hit_ratio.size());
+  for (std::size_t i = 0; i < a.hit_ratio.size(); ++i) {
+    EXPECT_EQ(a.hit_ratio[i], b.hit_ratio[i]);
+  }
+  EXPECT_EQ(a.invalidations_per_txn, b.invalidations_per_txn);
+  EXPECT_EQ(a.page_requests_per_txn, b.page_requests_per_txn);
+  EXPECT_EQ(a.page_request_delay_ms, b.page_request_delay_ms);
+  EXPECT_EQ(a.evict_writes_per_txn, b.evict_writes_per_txn);
+  EXPECT_EQ(a.force_writes_per_txn, b.force_writes_per_txn);
+  EXPECT_EQ(a.local_lock_fraction, b.local_lock_fraction);
+  EXPECT_EQ(a.lock_waits_per_txn, b.lock_waits_per_txn);
+  EXPECT_EQ(a.lock_wait_ms, b.lock_wait_ms);
+  EXPECT_EQ(a.messages_per_txn, b.messages_per_txn);
+  EXPECT_EQ(a.revocations_per_txn, b.revocations_per_txn);
+  EXPECT_EQ(a.brk_cpu_ms, b.brk_cpu_ms);
+  EXPECT_EQ(a.brk_cpu_wait_ms, b.brk_cpu_wait_ms);
+  EXPECT_EQ(a.brk_io_ms, b.brk_io_ms);
+  EXPECT_EQ(a.brk_cc_ms, b.brk_cc_ms);
+  EXPECT_EQ(a.brk_queue_ms, b.brk_queue_ms);
+}
+
+TEST(SweepRunner, JobsResolveToAtLeastOne) {
+  EXPECT_GE(SweepRunner::default_jobs(), 1);
+  EXPECT_EQ(SweepRunner(1).jobs(), 1);
+  EXPECT_EQ(SweepRunner(4).jobs(), 4);
+  EXPECT_GE(SweepRunner(0).jobs(), 1);
+}
+
+TEST(SweepRunner, SerialAndParallelAreBitIdentical) {
+  const std::vector<SystemConfig> cfgs = quick_sweep_configs();
+
+  // Reference: the plain serial path, one run at a time.
+  std::vector<RunResult> serial;
+  for (const SystemConfig& cfg : cfgs) {
+    serial.push_back(run_debit_credit(cfg));
+  }
+
+  const std::vector<RunResult> jobs1 =
+      SweepRunner(1).run_debit_credit(cfgs);
+  const std::vector<RunResult> jobs4 =
+      SweepRunner(4).run_debit_credit(cfgs);
+
+  ASSERT_EQ(serial.size(), jobs1.size());
+  ASSERT_EQ(serial.size(), jobs4.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    expect_identical(serial[i], jobs1[i]);
+    expect_identical(serial[i], jobs4[i]);
+  }
+}
+
+TEST(SweepRunner, ResultsComeBackInSubmissionOrder) {
+  // Submission order is recoverable from the config echo in RunResult, so a
+  // misordered merge would be visible even if every run completed correctly.
+  const std::vector<SystemConfig> cfgs = quick_sweep_configs();
+  const std::vector<RunResult> runs = SweepRunner(4).run_debit_credit(cfgs);
+  ASSERT_EQ(runs.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(runs[i].nodes, cfgs[i].nodes);
+    EXPECT_EQ(runs[i].routing, cfgs[i].routing);
+  }
+}
+
+TEST(SweepRunner, MapPropagatesTaskExceptions) {
+  std::vector<std::function<int()>> tasks;
+  tasks.push_back([] { return 1; });
+  tasks.push_back([]() -> int { throw std::runtime_error("boom"); });
+  tasks.push_back([] { return 3; });
+  EXPECT_THROW(SweepRunner(2).map(std::move(tasks)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gemsd

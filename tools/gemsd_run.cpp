@@ -1,78 +1,118 @@
 // gemsd_run — run any experiment from a small INI-style spec, no C++
 // required:
 //
-//   ./gemsd_run spec.ini [--csv] [--full]
+//   ./gemsd_run spec.ini [more-specs.ini ...] [--csv] [--full] [--jobs=N]
 //
+// Multiple specs are executed as one sweep on a worker pool (--jobs=N,
+// default hardware_concurrency); results print in command-line order.
 // See src/core/config_file.hpp for the spec format, and specs/*.ini for
 // ready-made examples.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/config_file.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep.hpp"
 #include "workload/trace_generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace gemsd;
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: gemsd_run <spec.ini> [--csv] [--full]\n");
+  bool csv = false, full = false;
+  int jobs = 0;
+  std::vector<std::string> spec_files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else {
+      spec_files.push_back(argv[i]);
+    }
+  }
+  if (spec_files.empty()) {
+    std::fprintf(stderr,
+                 "usage: gemsd_run <spec.ini> [more-specs.ini ...] "
+                 "[--csv] [--full] [--jobs=N]\n");
     return 1;
   }
-  bool csv = false, full = false;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--full") == 0) full = true;
+
+  std::vector<RunSpec> specs(spec_files.size());
+  for (std::size_t i = 0; i < spec_files.size(); ++i) {
+    try {
+      specs[i] = parse_run_spec_file(spec_files[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
-  RunSpec spec;
+  struct SpecResult {
+    RunResult r;
+    std::vector<std::string> names;
+  };
+  std::vector<std::function<SpecResult()>> tasks;
+  for (const RunSpec& spec : specs) {
+    tasks.push_back([&spec] {
+      SpecResult out;
+      if (spec.kind == RunSpec::Kind::DebitCredit) {
+        out.r = run_debit_credit(spec.cfg);
+        out.names = debit_credit_partition_names();
+      } else {
+        workload::Trace trace;
+        if (!spec.trace_file.empty()) {
+          trace = workload::Trace::load_file(spec.trace_file);
+        } else {
+          sim::Rng rng(7);
+          workload::SyntheticTraceConfig tc;
+          tc.transactions = spec.trace_txns;
+          trace = workload::generate_synthetic_trace(tc, rng);
+        }
+        // Trace runs use the trace config's partitions but keep the spec's
+        // system knobs.
+        SystemConfig cfg = make_trace_config(trace);
+        cfg.nodes = spec.cfg.nodes;
+        cfg.arrival_rate_per_node = spec.cfg.arrival_rate_per_node;
+        cfg.coupling = spec.cfg.coupling;
+        cfg.update = spec.cfg.update;
+        cfg.routing = spec.cfg.routing;
+        cfg.buffer_pages = spec.cfg.buffer_pages;
+        cfg.pcl_read_optimization = spec.cfg.pcl_read_optimization;
+        cfg.gem_read_authorizations = spec.cfg.gem_read_authorizations;
+        cfg.comm.transport = spec.cfg.comm.transport;
+        cfg.log_group_commit = spec.cfg.log_group_commit;
+        cfg.warmup = spec.cfg.warmup;
+        cfg.measure = spec.cfg.measure;
+        cfg.seed = spec.cfg.seed;
+        out.r = run_trace(cfg, trace);
+        for (int f = 0; f < trace.num_files; ++f) {
+          out.names.push_back("F" + std::to_string(f));
+        }
+      }
+      return out;
+    });
+  }
+
+  std::vector<SpecResult> results;
   try {
-    spec = parse_run_spec_file(argv[1]);
+    results = SweepRunner(jobs).map(std::move(tasks));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 
-  RunResult r;
-  std::vector<std::string> names;
-  if (spec.kind == RunSpec::Kind::DebitCredit) {
-    r = run_debit_credit(spec.cfg);
-    names = debit_credit_partition_names();
-  } else {
-    workload::Trace trace;
-    if (!spec.trace_file.empty()) {
-      trace = workload::Trace::load_file(spec.trace_file);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (csv) {
+      print_csv({results[i].r}, results[i].names);
     } else {
-      sim::Rng rng(7);
-      workload::SyntheticTraceConfig tc;
-      tc.transactions = spec.trace_txns;
-      trace = workload::generate_synthetic_trace(tc, rng);
+      print_table("gemsd_run: " + spec_files[i], {results[i].r},
+                  results[i].names, full);
     }
-    // Trace runs use the trace config's partitions but keep the spec's
-    // system knobs.
-    SystemConfig cfg = make_trace_config(trace);
-    cfg.nodes = spec.cfg.nodes;
-    cfg.arrival_rate_per_node = spec.cfg.arrival_rate_per_node;
-    cfg.coupling = spec.cfg.coupling;
-    cfg.update = spec.cfg.update;
-    cfg.routing = spec.cfg.routing;
-    cfg.buffer_pages = spec.cfg.buffer_pages;
-    cfg.pcl_read_optimization = spec.cfg.pcl_read_optimization;
-    cfg.gem_read_authorizations = spec.cfg.gem_read_authorizations;
-    cfg.comm.transport = spec.cfg.comm.transport;
-    cfg.log_group_commit = spec.cfg.log_group_commit;
-    cfg.warmup = spec.cfg.warmup;
-    cfg.measure = spec.cfg.measure;
-    cfg.seed = spec.cfg.seed;
-    r = run_trace(cfg, trace);
-    for (int f = 0; f < trace.num_files; ++f) {
-      names.push_back("F" + std::to_string(f));
-    }
-  }
-
-  if (csv) {
-    print_csv({r}, names);
-  } else {
-    print_table(std::string("gemsd_run: ") + argv[1], {r}, names, full);
   }
   return 0;
 }
