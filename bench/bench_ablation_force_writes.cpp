@@ -52,9 +52,23 @@ int main(int argc, char** argv) {
     if (s.log_gem) cfg.log_storage = StorageKind::Gem;
     cfgs.push_back(cfg);
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    auto bruns = zip_runs(cfgs, runs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {{"step", static_cast<double>(i)}};
+    }
+    write_bench_json("ablation_force_writes",
+                     "Ablation: removing FORCE's remaining write delays "
+                     "(GEM locking, random routing, buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_force_writes", cfgs.front()).c_str());
   std::printf("\n== Ablation: removing FORCE's remaining write delays "
               "(GEM locking, random routing, buffer 1000, N=%d) ==\n", n);
   std::printf("%-44s %9s %8s\n", "configuration", "resp[ms]", "fW/tx");

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
     std::uint64_t auth_locks = 0;
     bool auths = false;
   };
-  std::vector<std::function<Row()>> tasks;
+  std::vector<SystemConfig> cfgs;
+  std::vector<bool> auth_flags;
   for (bool auths : {false, true}) {
     for (int n : {2, 4, 8}) {
       if (n > opt.max_nodes) continue;
@@ -39,18 +40,49 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      tasks.push_back([cfg, auths, &trace] {
-        System sys(cfg, make_trace_workload(cfg, trace));
-        Row row;
-        row.r = sys.run();
-        row.glt_locks = sys.metrics().lock_local.value();
-        row.auth_locks = sys.metrics().lock_auth_local.value();
-        row.auths = auths;
-        return row;
-      });
+      cfgs.push_back(cfg);
+      auth_flags.push_back(auths);
     }
   }
+  apply_obs_options(cfgs, opt);
+  std::vector<std::function<Row()>> tasks;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const SystemConfig& cfg = cfgs[i];
+    const bool auths = auth_flags[i];
+    tasks.push_back([cfg, auths, &trace] {
+      System sys(cfg, make_trace_workload(cfg, trace));
+      Row row;
+      row.r = sys.run();
+      row.glt_locks = sys.metrics().lock_local.value();
+      row.auth_locks = sys.metrics().lock_auth_local.value();
+      row.auths = auths;
+      return row;
+    });
+  }
   const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  {
+    std::vector<RunResult> rs;
+    for (const Row& row : rows) rs.push_back(row.r);
+    auto bruns = zip_runs(cfgs, rs);
+    std::vector<std::string> names;
+    for (int f = 0; f < trace.num_files; ++f) {
+      names.push_back("F" + std::to_string(f));
+    }
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {
+          {"auths", rows[i].auths ? 1.0 : 0.0},
+          {"glt_locks", static_cast<double>(rows[i].glt_locks)},
+          {"auth_locks", static_cast<double>(rows[i].auth_locks)}};
+    }
+    write_bench_json("ablation_gem_auth",
+                     "Ablation: GEM local read authorizations (trace "
+                     "workload, 50 TPS/node, NOFORCE, affinity routing)",
+                     opt, bruns, names);
+    write_trace_file(opt, bruns);
+    std::printf("# %s\n",
+                fingerprint_line("ablation_gem_auth", cfgs.front()).c_str());
+  }
 
   std::printf("\n== Ablation: GEM local read authorizations (trace workload, "
               "50 TPS/node, NOFORCE, affinity routing) ==\n");

@@ -35,9 +35,20 @@ int main(int argc, char** argv) {
       kinds.push_back(k);
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, runs);
+    write_bench_json("ablation_gem_cache",
+                     "Ablation: GEM page cache vs alternatives for B/T "
+                     "(FORCE, random routing, buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_gem_cache", cfgs.front()).c_str());
   std::printf("\n== Ablation: GEM page cache vs alternatives for B/T "
               "(FORCE, random routing, buffer 1000) ==\n");
   std::printf("%-18s %3s | %9s %8s %8s %8s\n", "B/T allocation", "N",

@@ -47,9 +47,20 @@ int main(int argc, char** argv) {
       labels.push_back(v.label);
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, runs);
+    write_bench_json("ablation_gem_msg",
+                     "Ablation: messages across GEM vs network "
+                     "(debit-credit, random routing, NOFORCE, buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_gem_msg", cfgs.front()).c_str());
   std::printf("\n== Ablation: messages across GEM vs network (debit-credit, "
               "random routing, NOFORCE, buffer 1000) ==\n");
   std::printf("%-26s %3s | %9s %7s %7s %7s %9s\n", "configuration", "N",

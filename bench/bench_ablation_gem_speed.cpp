@@ -32,9 +32,23 @@ int main(int argc, char** argv) {
       entry_us.push_back(us);
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    auto bruns = zip_runs(cfgs, runs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {{"entry_us", entry_us[i]}};
+    }
+    write_bench_json("ablation_gem_speed",
+                     "Ablation: GEM entry access time (GEM locking, random "
+                     "routing, NOFORCE, buffer 200)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_gem_speed", cfgs.front()).c_str());
   std::printf("\n== Ablation: GEM entry access time (GEM locking, random "
               "routing, NOFORCE, buffer 200) ==\n");
   std::printf("%5s %12s | %9s %8s %8s %9s\n", "N", "entry[us]", "resp[ms]",

@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
     double log_util = 0;
     double batching = 0;
   };
-  std::vector<std::function<Row()>> tasks;
+  std::vector<SystemConfig> cfgs;
+  std::vector<double> tps_of;
+  std::vector<bool> group_of;
   for (double tps : {100.0, 150.0, 200.0, 300.0}) {
     for (bool group : {false, true}) {
       SystemConfig cfg = make_debit_credit_config();
@@ -34,19 +36,47 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      tasks.push_back([cfg, tps, group] {
-        System sys(cfg, make_debit_credit_workload(cfg));
-        Row row;
-        row.r = sys.run();
-        row.tps = tps;
-        row.group = group;
-        row.log_util = sys.storage().log_group(0).arm_utilization();
-        row.batching = sys.log(0).batching_factor();
-        return row;
-      });
+      cfgs.push_back(cfg);
+      tps_of.push_back(tps);
+      group_of.push_back(group);
     }
   }
+  apply_obs_options(cfgs, opt);
+  std::vector<std::function<Row()>> tasks;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const SystemConfig& cfg = cfgs[i];
+    const double tps = tps_of[i];
+    const bool group = group_of[i];
+    tasks.push_back([cfg, tps, group] {
+      System sys(cfg, make_debit_credit_workload(cfg));
+      Row row;
+      row.r = sys.run();
+      row.tps = tps;
+      row.group = group;
+      row.log_util = sys.storage().log_group(0).arm_utilization();
+      row.batching = sys.log(0).batching_factor();
+      return row;
+    });
+  }
   const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  {
+    std::vector<RunResult> rs;
+    for (const Row& row : rows) rs.push_back(row.r);
+    auto bruns = zip_runs(cfgs, rs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {{"group_commit", rows[i].group ? 1.0 : 0.0},
+                        {"log_util", rows[i].log_util},
+                        {"txns_per_flush", rows[i].batching}};
+    }
+    write_bench_json("ablation_group_commit",
+                     "Ablation: group commit (debit-credit, 1 node, 1 log "
+                     "disk, 8 CPUs, NOFORCE)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+    std::printf("# %s\n", fingerprint_line("ablation_group_commit",
+                                           cfgs.front()).c_str());
+  }
 
   std::printf("\n== Ablation: group commit (debit-credit, 1 node, 1 log "
               "disk, 8 CPUs, NOFORCE) ==\n");

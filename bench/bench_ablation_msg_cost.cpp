@@ -34,9 +34,20 @@ int main(int argc, char** argv) {
     cfg.comm.long_instr = instr * 8.0 / 5.0;  // keep the paper's ratio
     cfgs.push_back(cfg);
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, runs);
+    write_bench_json("ablation_msg_cost",
+                     "Ablation: message CPU cost (PCL vs GEM, random "
+                     "routing, NOFORCE, buffer 200)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_msg_cost", cfgs.front()).c_str());
   std::printf("\n== Ablation: message CPU cost (PCL vs GEM, random routing, "
               "NOFORCE, N=%d, buffer 200) ==\n", n);
   const RunResult& gem = runs[0];

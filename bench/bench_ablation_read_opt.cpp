@@ -36,9 +36,27 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_trace(std::move(cfgs), trace);
+      SweepRunner(opt.jobs).run_trace(cfgs, trace);
+  {
+    auto bruns = zip_runs(cfgs, runs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {{"read_opt", opts_read[i] ? 1.0 : 0.0}};
+    }
+    std::vector<std::string> names;
+    for (int f = 0; f < trace.num_files; ++f) {
+      names.push_back("F" + std::to_string(f));
+    }
+    write_bench_json("ablation_read_opt",
+                     "Ablation: PCL read optimization (trace workload, "
+                     "50 TPS/node, NOFORCE)",
+                     opt, bruns, names);
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n",
+              fingerprint_line("ablation_read_opt", cfgs.front()).c_str());
   std::printf("\n== Ablation: PCL read optimization (trace workload, "
               "50 TPS/node, NOFORCE) ==\n");
   std::printf("%-9s %-9s %2s | %8s %9s %7s %8s\n", "readOpt", "routing", "N",

@@ -37,12 +37,13 @@ struct NullGen : workload::WorkloadGenerator {
 };
 
 struct Row {
+  RunResult r;
   std::uint64_t deadlocks = 0;
   double resp_ms = 0;
   double wall_ms = 0;
 };
 
-Row run(Coupling c, bool intent, int hot_pages, int txns) {
+SystemConfig make_cfg(Coupling c) {
   SystemConfig cfg;
   cfg.nodes = 4;
   cfg.coupling = c;
@@ -54,7 +55,10 @@ Row run(Coupling c, bool intent, int hot_pages, int txns) {
   cfg.partitions[0].pages_per_unit = 4096;
   cfg.partitions[0].locked = true;
   cfg.partitions[0].disks_per_unit = 16;
+  return cfg;
+}
 
+Row run(const SystemConfig& cfg, bool intent, int hot_pages, int txns) {
   System::Workload wl;
   wl.gen = std::make_unique<NullGen>();
   wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
@@ -70,23 +74,58 @@ Row run(Coupling c, bool intent, int hot_pages, int txns) {
     sys.submit(static_cast<NodeId>(i % cfg.nodes), t);
   }
   sys.scheduler().run_all();
-  return {sys.metrics().deadlocks.value(), sys.metrics().response.mean() * 1e3,
-          sys.scheduler().now() * 1e3};
+  Row row;
+  row.r = sys.collect();
+  row.deadlocks = sys.metrics().deadlocks.value();
+  row.resp_ms = sys.metrics().response.mean() * 1e3;
+  row.wall_ms = sys.scheduler().now() * 1e3;
+  return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opt = parse_bench_args(argc, argv);
-  std::vector<std::function<Row()>> tasks;
+  std::vector<SystemConfig> cfgs;
+  std::vector<int> hot_of;
+  std::vector<bool> intent_of;
   for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
     for (int hot : {4, 32, 256}) {
       for (bool intent : {false, true}) {
-        tasks.push_back([c, hot, intent] { return run(c, intent, hot, 800); });
+        cfgs.push_back(make_cfg(c));
+        hot_of.push_back(hot);
+        intent_of.push_back(intent);
       }
     }
   }
+  apply_obs_options(cfgs, opt);
+  std::vector<std::function<Row()>> tasks;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const SystemConfig& cfg = cfgs[i];
+    const int hot = hot_of[i];
+    const bool intent = intent_of[i];
+    tasks.push_back([&cfg, hot, intent] { return run(cfg, intent, hot, 800); });
+  }
   const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  {
+    std::vector<RunResult> rs;
+    for (const Row& row : rows) rs.push_back(row.r);
+    auto bruns = zip_runs(cfgs, rs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      bruns[i].extra = {{"hot_pages", static_cast<double>(hot_of[i])},
+                        {"update_mode_locks", intent_of[i] ? 1.0 : 0.0},
+                        {"deadlocks", static_cast<double>(rows[i].deadlocks)},
+                        {"drain_ms", rows[i].wall_ms}};
+    }
+    write_bench_json("ablation_update_locks",
+                     "Ablation: update-mode locks vs R->W upgrades "
+                     "(read-modify-write, 800 txns, 4 nodes)",
+                     opt, bruns, {"T"});
+    write_trace_file(opt, bruns);
+    std::printf("# %s\n", fingerprint_line("ablation_update_locks",
+                                           cfgs.front()).c_str());
+  }
 
   std::printf("\n== Ablation: update-mode locks vs R->W upgrades "
               "(read-modify-write, 800 txns, 4 nodes) ==\n");

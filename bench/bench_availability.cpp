@@ -20,11 +20,12 @@ int main(int argc, char** argv) {
   const double kBucket = 1.0;
 
   struct Timeline {
+    RunResult r;
     std::vector<double> buckets;
     std::uint64_t lost = 0;
     double rec_time = 0;
   };
-  std::vector<std::function<Timeline()>> tasks;
+  std::vector<SystemConfig> cfgs;
   for (Coupling c : {Coupling::GemLocking, Coupling::PrimaryCopy}) {
     SystemConfig cfg = make_debit_credit_config();
     cfg.nodes = 4;
@@ -32,7 +33,12 @@ int main(int argc, char** argv) {
     cfg.update = UpdateStrategy::NoForce;
     cfg.routing = Routing::Affinity;
     cfg.seed = opt.seed;
-    tasks.push_back([cfg, kFailAt, kEnd, kBucket] {
+    cfgs.push_back(cfg);
+  }
+  apply_obs_options(cfgs, opt);
+  std::vector<std::function<Timeline()>> tasks;
+  for (const SystemConfig& cfg : cfgs) {
+    tasks.push_back([&cfg, kFailAt, kEnd, kBucket] {
       System sys(cfg, make_debit_credit_workload(cfg));
       sys.start_source();
       Timeline tl;
@@ -53,11 +59,34 @@ int main(int argc, char** argv) {
       tl.rec_time = sys.metrics().recovery_time.count()
                         ? sys.metrics().recovery_time.mean()
                         : 0.0;
+      tl.r = sys.collect();
       return tl;
     });
   }
   const std::vector<Timeline> timelines =
       SweepRunner(opt.jobs).map(std::move(tasks));
+
+  {
+    std::vector<RunResult> rs;
+    for (const Timeline& tl : timelines) rs.push_back(tl.r);
+    auto bruns = zip_runs(cfgs, rs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      auto& extra = bruns[i].extra;
+      extra.push_back({"lost_txns", static_cast<double>(timelines[i].lost)});
+      extra.push_back({"recovery_s", timelines[i].rec_time});
+      for (std::size_t b = 0; b < timelines[i].buckets.size(); ++b) {
+        extra.push_back({"commits_per_s_t" + std::to_string(b + 1),
+                         timelines[i].buckets[b]});
+      }
+    }
+    write_bench_json("availability",
+                     "Availability: node 1 of 4 crashes at t=10s "
+                     "(debit-credit, NOFORCE, affinity, 100 TPS/node)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+    std::printf("# %s\n",
+                fingerprint_line("availability", cfgs.front()).c_str());
+  }
 
   std::printf("\n== Availability: node 1 of 4 crashes at t=%.0fs "
               "(debit-credit, NOFORCE, affinity, 100 TPS/node) ==\n", kFailAt);

@@ -33,14 +33,11 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
-  if (opt.csv) {
-    print_csv(runs, debit_credit_partition_names());
-  } else {
-    print_table(
-        "Fig 4.1: GEM locking - routing x update strategy (buffer 200)", runs,
-        debit_credit_partition_names(), opt.full);
-  }
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  finish_bench("fig_4_1",
+               "Fig 4.1: GEM locking - routing x update strategy (buffer 200)",
+               opt, cfgs, runs, debit_credit_partition_names());
   return 0;
 }

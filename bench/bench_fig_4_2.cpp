@@ -33,14 +33,12 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
-  if (opt.csv) {
-    print_csv(runs, debit_credit_partition_names());
-  } else {
-    print_table("Fig 4.2: influence of buffer size (random routing, GEM "
-                "locking)",
-                runs, debit_credit_partition_names(), opt.full);
-  }
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  finish_bench("fig_4_2",
+               "Fig 4.2: influence of buffer size (random routing, GEM "
+               "locking)",
+               opt, cfgs, runs, debit_credit_partition_names());
   return 0;
 }

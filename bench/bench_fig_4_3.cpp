@@ -7,6 +7,7 @@
 // page requests anyway). For FORCE the GEM allocation removes both the
 // commit force-write disk delay and the miss penalty, making random routing
 // almost as fast as affinity routing and the response times flat in N.
+#include <cstdio>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -41,8 +42,17 @@ int main(int argc, char** argv) {
     }
     if (upd == UpdateStrategy::NoForce) per_strategy = cfgs.size();
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> all =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, all);
+    write_bench_json("fig_4_3",
+                     "Fig 4.3: B/T on disk vs GEM, NOFORCE and FORCE "
+                     "(buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
   for (UpdateStrategy upd : {UpdateStrategy::NoForce, UpdateStrategy::Force}) {
     const std::size_t begin =
@@ -51,6 +61,8 @@ int main(int argc, char** argv) {
         upd == UpdateStrategy::NoForce ? per_strategy : all.size();
     const std::vector<RunResult> runs(all.begin() + begin, all.begin() + end);
     if (opt.csv) {
+      std::printf("# %s\n",
+                  fingerprint_line("fig_4_3", cfgs.front()).c_str());
       print_csv(runs, debit_credit_partition_names());
     } else {
       print_table(std::string("Fig 4.3") +

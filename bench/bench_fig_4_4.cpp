@@ -39,15 +39,15 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
-  if (opt.csv) {
-    print_csv(runs, debit_credit_partition_names());
-  } else {
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  if (!opt.csv) {
     std::printf("\nB/T storage per block: disk, disk+vcache, disk+nvcache, "
                 "GEM (affinity then random within each)\n");
-    print_table("Fig 4.4: disk caches for BRANCH/TELLER (FORCE, buffer 1000)",
-                runs, debit_credit_partition_names(), opt.full);
   }
+  finish_bench("fig_4_4",
+               "Fig 4.4: disk caches for BRANCH/TELLER (FORCE, buffer 1000)",
+               opt, cfgs, runs, debit_credit_partition_names());
   return 0;
 }

@@ -8,6 +8,7 @@
 // for remote lock requests); the PCL/GEM difference is smaller for NOFORCE
 // than for FORCE and shrinks further at buffer 1000, because PCL piggybacks
 // page transfers on lock messages.
+#include <cstdio>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -43,8 +44,16 @@ int main(int argc, char** argv) {
       block_end.push_back(cfgs.size());
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> all =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, all);
+    write_bench_json("fig_4_5",
+                     "Fig 4.5: PCL vs GEM locking, buffer x update strategy",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
   std::size_t block = 0, begin = 0;
   for (int buf : {200, 1000}) {
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
                                         all.begin() + end);
       begin = end;
       if (opt.csv) {
+        std::printf("# %s\n",
+                    fingerprint_line("fig_4_5", cfgs.front()).c_str());
         print_csv(runs, debit_credit_partition_names());
       } else {
         print_table("Fig 4.5: PCL vs GEM locking (" +

@@ -37,9 +37,19 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_debit_credit(std::move(cfgs));
+      SweepRunner(opt.jobs).run_debit_credit(cfgs);
+  {
+    const auto bruns = zip_runs(cfgs, runs);
+    write_bench_json("fig_4_6",
+                     "Fig 4.6: transaction rate per node at 80% CPU "
+                     "utilization (buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n", fingerprint_line("fig_4_6", cfgs.front()).c_str());
   std::printf("\n== Fig 4.6: transaction rate per node at 80%% CPU "
               "utilization (buffer 1000) ==\n");
   std::printf("%-12s %-9s %-9s | %5s %7s %7s %9s\n", "coupling", "update",

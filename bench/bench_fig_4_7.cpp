@@ -50,9 +50,19 @@ int main(int argc, char** argv) {
       }
     }
   }
+  apply_obs_options(cfgs, opt);
   const std::vector<RunResult> runs =
-      SweepRunner(opt.jobs).run_trace(std::move(cfgs), trace);
+      SweepRunner(opt.jobs).run_trace(cfgs, trace);
+  {
+    const auto bruns = zip_runs(cfgs, runs);
+    write_bench_json("fig_4_7",
+                     "Fig 4.7: PCL vs GEM locking, real-life (synthetic) "
+                     "trace (50 TPS, buffer 1000, NOFORCE)",
+                     opt, bruns, names);
+    write_trace_file(opt, bruns);
+  }
 
+  std::printf("# %s\n", fingerprint_line("fig_4_7", cfgs.front()).c_str());
   std::printf("\n== Fig 4.7: PCL vs GEM locking, real-life (synthetic) trace "
               "(50 TPS, buffer 1000, NOFORCE) ==\n");
   std::printf("%-12s %-9s | %2s %9s %9s %7s %7s %7s %7s %9s\n", "coupling",

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
     double engine_util = -1;  ///< < 0: not a lock-engine run
     double service_us = 0;
   };
-  std::vector<std::function<Row()>> tasks;
+  std::vector<SystemConfig> cfgs;
+  std::vector<double> service_us;  // 0: baseline run
   for (int n : {2, 5, 10}) {
     if (n > opt.max_nodes) continue;
     // Baselines.
@@ -37,11 +38,8 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      tasks.push_back([cfg] {
-        Row row;
-        row.r = run_debit_credit(cfg);
-        return row;
-      });
+      cfgs.push_back(cfg);
+      service_us.push_back(0.0);
     }
     for (double us : {100.0, 200.0, 500.0}) {
       SystemConfig cfg = make_debit_credit_config();
@@ -54,19 +52,49 @@ int main(int argc, char** argv) {
       cfg.warmup = opt.warmup;
       cfg.measure = opt.measure;
       cfg.seed = opt.seed;
-      tasks.push_back([cfg, us] {
-        System sys(cfg, make_debit_credit_workload(cfg));
-        Row row;
-        row.r = sys.run();
+      cfgs.push_back(cfg);
+      service_us.push_back(us);
+    }
+  }
+  apply_obs_options(cfgs, opt);
+  std::vector<std::function<Row()>> tasks;
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    const SystemConfig& cfg = cfgs[i];
+    const double us = service_us[i];
+    tasks.push_back([cfg, us] {
+      System sys(cfg, make_debit_credit_workload(cfg));
+      Row row;
+      row.r = sys.run();
+      if (cfg.coupling == Coupling::LockEngine) {
         row.engine_util =
             static_cast<cc::LockEngineProtocol&>(sys.protocol())
                 .engine_utilization();
         row.service_us = us;
-        return row;
-      });
-    }
+      }
+      return row;
+    });
   }
   const std::vector<Row> rows = SweepRunner(opt.jobs).map(std::move(tasks));
+
+  {
+    std::vector<RunResult> rs;
+    for (const Row& row : rows) rs.push_back(row.r);
+    auto bruns = zip_runs(cfgs, rs);
+    for (std::size_t i = 0; i < bruns.size(); ++i) {
+      if (rows[i].engine_util >= 0) {
+        bruns[i].extra = {{"engine_util", rows[i].engine_util},
+                          {"service_us", rows[i].service_us}};
+      }
+    }
+    write_bench_json("related_lock_engine",
+                     "Related work: central lock engine [Yu87] vs GEM "
+                     "locking (debit-credit, FORCE, random routing, "
+                     "buffer 1000)",
+                     opt, bruns, debit_credit_partition_names());
+    write_trace_file(opt, bruns);
+    std::printf("# %s\n", fingerprint_line("related_lock_engine",
+                                           cfgs.front()).c_str());
+  }
 
   std::printf("\n== Related work: central lock engine [Yu87] vs GEM locking "
               "(debit-credit, FORCE, random routing, buffer 1000) ==\n");

@@ -9,8 +9,15 @@ int main(int argc, char** argv) {
   using namespace gemsd;
   // No simulations to sweep here, but accept the shared bench flags
   // (--jobs etc.) so every harness has a uniform command line.
-  (void)parse_bench_args(argc, argv);
+  const BenchOptions opt = parse_bench_args(argc, argv);
   const SystemConfig c = make_debit_credit_config();
+
+  // Emit the instantiated parameter set as JSON (no runs) so the table is
+  // machine-readable alongside the other bench outputs.
+  write_bench_json("table_4_1",
+                   "Table 4.1: parameter settings (debit-credit)", opt, {},
+                   debit_credit_partition_names());
+  std::printf("# %s\n", fingerprint_line("table_4_1", c).c_str());
 
   std::printf("== Table 4.1: parameter settings (debit-credit) ==\n");
   std::printf("%-28s %s\n", "number of nodes N", "1 - 10 (per-bench sweep)");

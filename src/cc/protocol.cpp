@@ -43,12 +43,22 @@ sim::Task<Protocol::Logical> Protocol::lock_logical(node::Txn& txn, PageId p,
   if (creates_deadlock(table_, txn.id)) {
     table_.cancel_wait(p, txn.id);
     metrics().deadlocks.inc();
+    if (metrics().trace) {
+      metrics().trace->instant(obs::TraceName::kDeadlock,
+                               static_cast<std::int16_t>(txn.node), txn.id,
+                               sched().now(), static_cast<double>(p.page));
+    }
     co_return Logical::Aborted;
   }
   metrics().lock_waits.inc();
   const sim::SimTime t0 = sched().now();
   co_await granted.wait();
   metrics().lock_wait_time.add(sched().now() - t0);
+  if (metrics().trace) {
+    metrics().trace->span(obs::TraceName::kLockWait,
+                          static_cast<std::int16_t>(txn.node), txn.id, t0,
+                          sched().now(), static_cast<double>(p.page));
+  }
   if (!txn.holds_page(p)) txn.held.push_back(p);
   co_return Logical::GrantedAfterWait;
 }
@@ -122,6 +132,11 @@ sim::Task<void> Protocol::fetch_from_owner(node::Txn& txn, PageId p,
   const bool have_page = co_await got.wait();
   metrics().page_request_delay.add(sched().now() - t0);
   txn.t_cc += sched().now() - t0;
+  if (metrics().trace) {
+    metrics().trace->span(obs::TraceName::kPageRequest,
+                          static_cast<std::int16_t>(me), txn.id, t0,
+                          sched().now(), static_cast<double>(p.page));
+  }
   if (have_page) {
     buf(me).install(p, seqno, /*dirty=*/transfer_ownership);
     if (transfer_ownership) {

@@ -118,6 +118,20 @@ struct SystemConfig {
   /// Restart back-off after a deadlock abort.
   sim::SimTime restart_delay = sim::msec(10);
 
+  /// Observability (src/obs): pure observation — none of these settings
+  /// change simulation results, only what gets recorded about them.
+  struct ObsConfig {
+    /// Record trace events into a preallocated ring buffer (exported as
+    /// Chrome trace-event JSON, see docs/observability.md).
+    bool trace = false;
+    std::size_t trace_capacity = std::size_t{1} << 18;  ///< ring entries
+    /// Periodic sampler interval in simulated seconds (0 = off). Samples
+    /// start at t=0 so warm-up convergence is visible.
+    sim::SimTime sample_every = 0.0;
+    /// Keep the K slowest transactions with full phase breakdowns (0 = off).
+    int slow_k = 0;
+  } obs;
+
   /// Failure/recovery model (Section 1-2 motivate availability; GEM's
   /// non-volatility keeps the global lock table alive across node crashes,
   /// while PCL must freeze and reconstruct the failed node's lock authority).

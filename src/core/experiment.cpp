@@ -1,7 +1,14 @@
 #include "core/experiment.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/fingerprint.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gemsd {
 
@@ -82,6 +89,20 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       o.full = true;
     } else if (std::strcmp(a, "--csv") == 0) {
       o.csv = true;
+    } else if (std::strncmp(a, "--sample=", 9) == 0) {
+      o.sample_every = std::atof(a + 9);
+    } else if (std::strncmp(a, "--slow-k=", 9) == 0) {
+      o.slow_k = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
+      o.metrics_json = a + 15;
+    } else if (std::strcmp(a, "--no-json") == 0) {
+      o.no_json = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      o.trace_file = a + 8;
+    } else if (std::strncmp(a, "--trace-run=", 12) == 0) {
+      o.trace_run = std::atoi(a + 12);
+    } else if (std::strncmp(a, "--trace-capacity=", 17) == 0) {
+      o.trace_capacity = static_cast<std::size_t>(std::atoll(a + 17));
     }
   }
   return o;
@@ -89,6 +110,273 @@ BenchOptions parse_bench_args(int argc, char** argv) {
 
 std::vector<std::string> debit_credit_partition_names() {
   return {"B/T", "ACCT", "HIST"};
+}
+
+void apply_obs_options(std::vector<SystemConfig>& cfgs,
+                       const BenchOptions& opt) {
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    auto& obs = cfgs[i].obs;
+    obs.sample_every = opt.sample_every;
+    obs.slow_k = opt.slow_k;
+    if (!opt.trace_file.empty() &&
+        i == static_cast<std::size_t>(
+                 opt.trace_run < 0 ? 0 : opt.trace_run) %
+                 (cfgs.empty() ? 1 : cfgs.size())) {
+      obs.trace = true;
+      obs.trace_capacity = opt.trace_capacity;
+    }
+  }
+}
+
+std::vector<BenchRun> zip_runs(const std::vector<SystemConfig>& cfgs,
+                               const std::vector<RunResult>& results) {
+  std::vector<BenchRun> out;
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    BenchRun b;
+    if (i < cfgs.size()) b.config = cfgs[i];
+    b.result = results[i];
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+namespace {
+
+void write_metrics_object(obs::JsonWriter& w, const RunResult& r,
+                          const std::vector<std::string>& partition_names) {
+  w.begin_object();
+  w.kv("label", r.label());
+  w.kv("nodes", static_cast<std::int64_t>(r.nodes));
+  w.kv("coupling", to_string(r.coupling));
+  w.kv("update", to_string(r.update));
+  w.kv("routing", to_string(r.routing));
+  w.kv("buffer_pages", static_cast<std::int64_t>(r.buffer_pages));
+  w.kv("arrival_rate_per_node", r.arrival_rate_per_node);
+  w.kv("resp_ms", r.resp_ms);
+  w.kv("resp_ci_ms", r.resp_ci_ms);
+  w.kv("resp_p95_ms", r.resp_p95_ms);
+  w.kv("resp_norm_ms", r.resp_norm_ms);
+  w.kv("throughput", r.throughput);
+  w.kv("commits", static_cast<std::uint64_t>(r.commits));
+  w.kv("aborts", static_cast<std::uint64_t>(r.aborts));
+  w.kv("deadlocks", static_cast<std::uint64_t>(r.deadlocks));
+  w.kv("cpu_util", r.cpu_util);
+  w.kv("cpu_util_max", r.cpu_util_max);
+  w.kv("gem_util", r.gem_util);
+  w.kv("net_util", r.net_util);
+  w.kv("tps_per_node_at_80", r.tps_per_node_at_80);
+  w.key("hit_ratio");
+  w.begin_object();
+  for (std::size_t p = 0; p < r.hit_ratio.size(); ++p) {
+    const std::string name =
+        p < partition_names.size() ? partition_names[p] : std::to_string(p);
+    w.kv(name, r.hit_ratio[p]);
+  }
+  w.end_object();
+  w.kv("invalidations_per_txn", r.invalidations_per_txn);
+  w.kv("page_requests_per_txn", r.page_requests_per_txn);
+  w.kv("page_request_delay_ms", r.page_request_delay_ms);
+  w.kv("evict_writes_per_txn", r.evict_writes_per_txn);
+  w.kv("force_writes_per_txn", r.force_writes_per_txn);
+  w.kv("local_lock_fraction", r.local_lock_fraction);
+  w.kv("lock_waits_per_txn", r.lock_waits_per_txn);
+  w.kv("lock_wait_ms", r.lock_wait_ms);
+  w.kv("messages_per_txn", r.messages_per_txn);
+  w.kv("revocations_per_txn", r.revocations_per_txn);
+  w.key("breakdown_ms");
+  w.begin_object();
+  w.kv("cpu", r.brk_cpu_ms);
+  w.kv("cpu_wait", r.brk_cpu_wait_ms);
+  w.kv("io", r.brk_io_ms);
+  w.kv("cc", r.brk_cc_ms);
+  w.kv("queue", r.brk_queue_ms);
+  w.end_object();
+  w.end_object();
+}
+
+void write_telemetry_members(obs::JsonWriter& w, const obs::RunTelemetry* tel) {
+  w.key("detail");
+  w.begin_object();
+  if (tel) {
+    for (const auto& [name, value] : tel->detail) w.kv(name, value);
+  }
+  w.end_object();
+
+  w.key("samples");
+  w.begin_array();
+  if (tel) {
+    for (const auto& s : tel->samples) {
+      w.begin_object();
+      w.kv("t", s.t);
+      w.kv("throughput", s.throughput);
+      w.kv("resp_ms", s.resp_ms);
+      w.kv("commits", static_cast<std::uint64_t>(s.commits));
+      w.kv("aborts", static_cast<std::uint64_t>(s.aborts));
+      w.kv("active_txns", s.active_txns);
+      w.kv("mpl_waiting", s.mpl_waiting);
+      w.kv("cpu_busy", s.cpu_busy);
+      w.kv("gem_busy", s.gem_busy);
+      w.kv("net_busy", s.net_busy);
+      w.kv("disk_queue", s.disk_queue);
+      w.kv("sched_queue", s.sched_queue);
+      w.kv("in_warmup", s.in_warmup);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("slowest");
+  w.begin_array();
+  if (tel) {
+    for (const auto& t : tel->slowest) {
+      w.begin_object();
+      w.kv("id", static_cast<std::uint64_t>(t.id));
+      w.kv("node", static_cast<std::int64_t>(t.node));
+      w.kv("type", static_cast<std::int64_t>(t.type));
+      w.kv("restarts", static_cast<std::int64_t>(t.restarts));
+      w.kv("arrival_s", t.arrival);
+      w.kv("response_ms", t.response * 1e3);
+      w.key("breakdown_ms");
+      w.begin_object();
+      w.kv("cpu", t.cpu * 1e3);
+      w.kv("cpu_wait", t.cpu_wait * 1e3);
+      w.kv("io", t.io * 1e3);
+      w.kv("cc", t.cc * 1e3);
+      w.kv("queue", t.queue * 1e3);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+}  // namespace
+
+std::string write_bench_json(const std::string& bench,
+                             const std::string& caption,
+                             const BenchOptions& opt,
+                             const std::vector<BenchRun>& runs,
+                             const std::vector<std::string>& partition_names) {
+  if (opt.no_json) return "";
+  const std::string path = opt.metrics_json.empty()
+                               ? "results/BENCH_" + bench + ".json"
+                               : opt.metrics_json;
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "gemsd.results.v1");
+  w.kv("bench", bench);
+  w.kv("caption", caption);
+  w.kv("git", obs::build_git_describe());
+  w.key("options");
+  w.begin_object();
+  w.kv("warmup", opt.warmup);
+  w.kv("measure", opt.measure);
+  w.kv("max_nodes", static_cast<std::int64_t>(opt.max_nodes));
+  w.kv("seed", static_cast<std::uint64_t>(opt.seed));
+  w.kv("sample_every", opt.sample_every);
+  w.kv("slow_k", static_cast<std::int64_t>(opt.slow_k));
+  w.end_object();
+  w.key("partitions");
+  w.begin_array();
+  for (const auto& p : partition_names) w.value(p);
+  w.end_array();
+
+  w.key("runs");
+  w.begin_array();
+  for (const auto& run : runs) {
+    w.begin_object();
+    w.kv("config_hash", obs::config_hash_hex(run.config));
+    w.key("config");
+    w.raw(obs::config_json(run.config));
+    w.key("metrics");
+    write_metrics_object(w, run.result, partition_names);
+    w.key("extra");
+    w.begin_object();
+    for (const auto& [name, value] : run.extra) w.kv(name, value);
+    w.end_object();
+    write_telemetry_members(w, run.result.telemetry.get());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  return write_text_file(path, w.take()) ? path : "";
+}
+
+std::string write_trace_file(const BenchOptions& opt,
+                             const std::vector<BenchRun>& runs) {
+  if (opt.trace_file.empty() || runs.empty()) return "";
+  const std::size_t idx =
+      static_cast<std::size_t>(opt.trace_run < 0 ? 0 : opt.trace_run) %
+      runs.size();
+  const BenchRun& run = runs[idx];
+  const auto* tel = run.result.telemetry.get();
+  if (!tel || !tel->trace_enabled) {
+    std::fprintf(stderr, "warning: --trace given but run %zu has no trace\n",
+                 idx);
+    return "";
+  }
+  obs::JsonWriter git, seed;
+  git.value(obs::build_git_describe());
+  seed.value(static_cast<std::uint64_t>(run.config.seed));
+  obs::JsonWriter hash;
+  hash.value(obs::config_hash_hex(run.config));
+  const std::vector<std::pair<std::string, std::string>> metadata = {
+      {"git", git.take()},
+      {"seed", seed.take()},
+      {"config_hash", hash.take()},
+      {"config", obs::config_json(run.config)},
+  };
+  const std::string json = obs::chrome_trace_json(*tel, metadata);
+  return write_text_file(opt.trace_file, json) ? opt.trace_file : "";
+}
+
+std::string fingerprint_line(const std::string& bench,
+                             const SystemConfig& cfg) {
+  std::string s = bench;
+  s += " git=";
+  s += obs::build_git_describe();
+  s += " seed=" + std::to_string(cfg.seed);
+  s += " config=" + obs::config_hash_hex(cfg);
+  return s;
+}
+
+void finish_bench(const std::string& bench, const std::string& caption,
+                  const BenchOptions& opt,
+                  const std::vector<SystemConfig>& cfgs,
+                  const std::vector<RunResult>& runs,
+                  const std::vector<std::string>& partition_names) {
+  const auto bruns = zip_runs(cfgs, runs);
+  const std::string json_path =
+      write_bench_json(bench, caption, opt, bruns, partition_names);
+  const std::string trace_path = write_trace_file(opt, bruns);
+  const SystemConfig stamp_cfg = cfgs.empty() ? SystemConfig{} : cfgs.front();
+  if (opt.csv) {
+    std::printf("# %s\n", fingerprint_line(bench, stamp_cfg).c_str());
+    print_csv(runs, partition_names);
+  } else {
+    print_table(caption, runs, partition_names, opt.full);
+    std::printf("%s\n", fingerprint_line(bench, stamp_cfg).c_str());
+    if (!json_path.empty()) std::printf("results: %s\n", json_path.c_str());
+    if (!trace_path.empty()) std::printf("trace: %s\n", trace_path.c_str());
+  }
 }
 
 }  // namespace gemsd

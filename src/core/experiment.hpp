@@ -23,14 +23,21 @@ SystemConfig make_trace_config(const workload::Trace& trace);
 RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 
 /// Shared command-line handling for the bench harnesses:
-///   --quick        shorter measurement interval (CI-friendly)
-///   --measure=S    measurement seconds
-///   --warmup=S     warm-up seconds
-///   --max-nodes=N  cap the node sweep
-///   --jobs=N       run the sweep's simulations on N worker threads
-///                  (default: hardware_concurrency; 1 = serial)
-///   --full         verbose per-run diagnostics
-///   --csv          machine-readable output
+///   --quick            shorter measurement interval (CI-friendly)
+///   --measure=S        measurement seconds
+///   --warmup=S         warm-up seconds
+///   --max-nodes=N      cap the node sweep
+///   --jobs=N           run the sweep's simulations on N worker threads
+///                      (default: hardware_concurrency; 1 = serial)
+///   --full             verbose per-run diagnostics
+///   --csv              machine-readable output
+///   --sample=S         periodic telemetry sample interval [sim s] (0 = off)
+///   --slow-k=K         record the K slowest transactions per run
+///   --metrics-json=F   structured results file (default results/BENCH_<name>.json)
+///   --no-json          skip the structured results file
+///   --trace=F          Chrome trace-event JSON of one sweep point
+///   --trace-run=I      which sweep point gets traced (default 0)
+///   --trace-capacity=N trace ring-buffer capacity [events]
 struct BenchOptions {
   double warmup = 5.0;
   double measure = 20.0;
@@ -39,10 +46,66 @@ struct BenchOptions {
   bool full = false;
   bool csv = false;
   std::uint64_t seed = 42;
+  double sample_every = 1.0;
+  int slow_k = 10;
+  std::string metrics_json;
+  bool no_json = false;
+  std::string trace_file;
+  int trace_run = 0;
+  std::size_t trace_capacity = std::size_t{1} << 18;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// Names of the debit-credit partitions (report columns).
 std::vector<std::string> debit_credit_partition_names();
+
+/// Stamp the observability options on every config of a sweep: sampler and
+/// slow-transaction log on all points, the trace ring only on the
+/// --trace-run point (and only when --trace was given).
+void apply_obs_options(std::vector<SystemConfig>& cfgs,
+                       const BenchOptions& opt);
+
+/// One sweep point as exported to the structured results file: the exact
+/// config it ran, its results (with telemetry), and optional bench-specific
+/// extra values that have no RunResult field.
+struct BenchRun {
+  SystemConfig config;
+  RunResult result;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Zip a sweep's configs and results (same order) into BenchRuns.
+std::vector<BenchRun> zip_runs(const std::vector<SystemConfig>& cfgs,
+                               const std::vector<RunResult>& results);
+
+/// Write the machine-readable results document ("gemsd.results.v1",
+/// validated by schemas/results.schema.json): caption, git describe, bench
+/// options, and per run the full config (with fingerprint hash), headline
+/// metrics, detail metrics, sampler time series and slowest transactions.
+/// Returns the path written, or "" when opt.no_json is set.
+std::string write_bench_json(const std::string& bench,
+                             const std::string& caption,
+                             const BenchOptions& opt,
+                             const std::vector<BenchRun>& runs,
+                             const std::vector<std::string>& partition_names);
+
+/// Write the Chrome trace of the traced sweep point when --trace was given.
+/// Returns the path written, or "" when tracing was off.
+std::string write_trace_file(const BenchOptions& opt,
+                             const std::vector<BenchRun>& runs);
+
+/// One-line config fingerprint for human-readable report headers:
+/// "bench git=<describe> seed=<seed> config=<hash>".
+std::string fingerprint_line(const std::string& bench,
+                             const SystemConfig& cfg);
+
+/// Standard tail of a bench harness: write the structured results file and
+/// the optional Chrome trace, then print the fingerprint stamp and the
+/// table (or CSV, where the stamp becomes a "#" comment line).
+void finish_bench(const std::string& bench, const std::string& caption,
+                  const BenchOptions& opt,
+                  const std::vector<SystemConfig>& cfgs,
+                  const std::vector<RunResult>& runs,
+                  const std::vector<std::string>& partition_names);
 
 }  // namespace gemsd

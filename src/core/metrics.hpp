@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 
@@ -53,16 +55,28 @@ class Metrics {
   sim::MeanStat lock_wait_time;
   sim::Counter revocations;           ///< read-authorization revocations
 
+  // --- observability hooks (pure observation; never alter the simulation) ---
+  /// Trace ring buffer owned by System; components guard record sites with
+  /// `if (metrics.trace)`. With tracing compiled out the pointer is a
+  /// constant nullptr, so every guard folds away.
+#if GEMSD_TRACING_ENABLED
+  obs::TraceRecorder* trace = nullptr;
+#else
+  static constexpr obs::TraceRecorder* trace = nullptr;
+#endif
+  /// Top-K slowest-transaction log owned by System (capacity 0 = off).
+  obs::SlowTxnLog* slow = nullptr;
+
   double hit_ratio(std::size_t partition) const {
     const double h = static_cast<double>(hits[partition].value());
     const double m = static_cast<double>(misses[partition].value());
-    return (h + m) > 0 ? h / (h + m) : 0.0;
+    return sim::safe_ratio(h, h + m);
   }
   double local_lock_fraction() const {
     const double l = static_cast<double>(lock_local.value() +
                                          lock_auth_local.value());
     const double t = static_cast<double>(lock_requests.value());
-    return t > 0 ? l / t : 1.0;
+    return sim::safe_ratio(l, t, 1.0);
   }
 
   void reset();

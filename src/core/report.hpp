@@ -1,9 +1,14 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
+
+namespace gemsd::obs {
+struct RunTelemetry;
+}  // namespace gemsd::obs
 
 namespace gemsd {
 
@@ -55,6 +60,11 @@ struct RunResult {
   // response-time decomposition (ms per txn)
   double brk_cpu_ms = 0, brk_cpu_wait_ms = 0, brk_io_ms = 0, brk_cc_ms = 0,
          brk_queue_ms = 0;
+
+  /// Full observability payload (detail metrics, sampler time series,
+  /// slow-transaction log, trace events). Shared so results stay cheap to
+  /// copy through sweeps; null unless System::collect() produced one.
+  std::shared_ptr<obs::RunTelemetry> telemetry;
 
   std::string label() const;
 };

@@ -1,0 +1,76 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "workload/trace.hpp"
+
+namespace gemsd {
+
+int SweepRunner::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepRunner::SweepRunner(int jobs)
+    : jobs_(jobs > 0 ? jobs : default_jobs()) {}
+
+void SweepRunner::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> SweepRunner::run_debit_credit(
+    std::vector<SystemConfig> cfgs) const {
+  std::vector<std::function<RunResult()>> tasks;
+  tasks.reserve(cfgs.size());
+  for (auto& cfg : cfgs) {
+    tasks.push_back([cfg = std::move(cfg)] { return gemsd::run_debit_credit(cfg); });
+  }
+  return map(std::move(tasks));
+}
+
+std::vector<RunResult> SweepRunner::run_trace(
+    std::vector<SystemConfig> cfgs, const workload::Trace& trace) const {
+  std::vector<std::function<RunResult()>> tasks;
+  tasks.reserve(cfgs.size());
+  for (auto& cfg : cfgs) {
+    tasks.push_back(
+        [cfg = std::move(cfg), &trace] { return gemsd::run_trace(cfg, trace); });
+  }
+  return map(std::move(tasks));
+}
+
+}  // namespace gemsd

@@ -70,6 +70,19 @@ System::System(const SystemConfig& cfg, Workload wl)
         *logs_[static_cast<std::size_t>(n)], *protocol_, metrics_));
   }
   node_up_.assign(static_cast<std::size_t>(cfg_.nodes), true);
+
+  // Observability: the recorder and slow-transaction log are owned here and
+  // reached by components via Metrics (null pointers when disabled — every
+  // record site is guarded, and with GEMSD_TRACING_ENABLED=0 compiled away).
+  if (cfg_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>(cfg_.obs.trace_capacity);
+    metrics_.trace = trace_.get();
+    comm_->set_trace(trace_.get());
+  }
+  if (cfg_.obs.slow_k > 0) {
+    slow_log_.set_capacity(static_cast<std::size_t>(cfg_.obs.slow_k));
+    metrics_.slow = &slow_log_;
+  }
 }
 
 System::~System() = default;
@@ -155,10 +168,98 @@ sim::Task<void> System::recovery_process(NodeId n, sim::SimTime crash_time) {
   node_up_[static_cast<std::size_t>(n)] = true;
 }
 
+sim::Task<void> System::sampler() {
+  std::uint64_t prev_commits = 0;
+  double prev_resp_sum = 0.0;
+  std::uint64_t prev_resp_n = 0;
+  sim::SimTime window_start = sched_.now();
+  for (;;) {
+    co_await sched_.delay(cfg_.obs.sample_every);
+    const sim::SimTime now = sched_.now();
+
+    std::uint64_t commits = metrics_.commits.value();
+    if (commits < prev_commits) {
+      // Statistics were reset inside this window (warm-up end): the window
+      // effectively restarts at the reset point.
+      prev_commits = 0;
+      prev_resp_sum = 0.0;
+      prev_resp_n = 0;
+      window_start = stats_start_;
+    }
+    const double resp_sum = metrics_.response.sum();
+    const std::uint64_t resp_n = metrics_.response.count();
+
+    obs::Sample s;
+    s.t = now;
+    s.in_warmup = !stats_reset_;
+    s.commits = commits;
+    s.aborts = metrics_.aborts.value();
+    s.throughput = sim::safe_ratio(
+        static_cast<double>(commits - prev_commits), now - window_start);
+    s.resp_ms = sim::safe_ratio(resp_sum - prev_resp_sum,
+                                static_cast<double>(resp_n - prev_resp_n)) *
+                1e3;
+
+    double active = 0, mplq = 0, busy = 0, procs = 0;
+    for (const auto& tm : tms_) {
+      active += static_cast<double>(tm->active());
+      mplq += static_cast<double>(tm->mpl().queue_length());
+    }
+    for (const auto& c : cpus_) {
+      busy += static_cast<double>(c->resource().busy());
+      procs += static_cast<double>(c->processors());
+    }
+    s.active_txns = active;
+    s.mpl_waiting = mplq;
+    s.cpu_busy = sim::safe_ratio(busy, procs);
+    s.gem_busy =
+        sim::safe_ratio(static_cast<double>(gem_->server().busy()),
+                        static_cast<double>(gem_->server().capacity()));
+    s.net_busy = static_cast<double>(network_->link().busy());
+    double dq = 0;
+    for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+      if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+        dq += static_cast<double>(g->arms().queue_length());
+      }
+    }
+    s.disk_queue = dq;
+    s.sched_queue = static_cast<double>(sched_.queued_events());
+    samples_.push_back(s);
+
+    if (metrics_.trace) {
+      auto* tr = metrics_.trace;
+      using TN = obs::TraceName;
+      tr->counter(TN::kCtrThroughput, -1, now, s.throughput);
+      tr->counter(TN::kCtrResponse, -1, now, s.resp_ms);
+      for (std::size_t n = 0; n < tms_.size(); ++n) {
+        const auto node = static_cast<std::int16_t>(n);
+        tr->counter(TN::kCtrActive, node, now,
+                    static_cast<double>(tms_[n]->active()));
+        tr->counter(TN::kCtrMplQueue, node, now,
+                    static_cast<double>(tms_[n]->mpl().queue_length()));
+        tr->counter(TN::kCtrCpuBusy, node, now,
+                    sim::safe_ratio(
+                        static_cast<double>(cpus_[n]->resource().busy()),
+                        static_cast<double>(cpus_[n]->processors())));
+      }
+      tr->counter(TN::kCtrGemBusy, -1, now, s.gem_busy);
+      tr->counter(TN::kCtrNetBusy, -1, now, s.net_busy);
+      tr->counter(TN::kCtrDiskQueue, -1, now, s.disk_queue);
+      tr->counter(TN::kCtrSchedQueue, -1, now, s.sched_queue);
+    }
+
+    prev_commits = commits;
+    prev_resp_sum = resp_sum;
+    prev_resp_n = resp_n;
+    window_start = now;
+  }
+}
+
 void System::start_source() {
   if (source_started_) return;
   source_started_ = true;
   sched_.spawn(source());
+  if (cfg_.obs.sample_every > 0.0) sched_.spawn(sampler());
 }
 
 void System::reset_stats() {
@@ -170,6 +271,11 @@ void System::reset_stats() {
   for (auto& c : cpus_) c->reset_stats();
   protocol_->table().reset_stats();
   stats_start_ = sched_.now();
+  stats_reset_ = true;
+  // Warm-up events are discarded like warm-up statistics; the sampler's time
+  // series is kept (convergence toward steady state is what it shows).
+  if (trace_) trace_->clear();
+  slow_log_.clear();
 }
 
 RunResult System::run() {
@@ -245,6 +351,124 @@ RunResult System::collect() const {
   r.brk_io_ms = metrics_.breakdown_io.mean() * 1e3;
   r.brk_cc_ms = metrics_.breakdown_cc.mean() * 1e3;
   r.brk_queue_ms = metrics_.breakdown_queue.mean() * 1e3;
+
+  // Full telemetry payload: a flat dump of every Metrics field and every
+  // Resource's utilization/queue/completion stats (fixed order — the JSON
+  // exporter writes these verbatim), plus sampler series, slow-txn log and
+  // the trace ring. Shared so sweep-level copies of RunResult stay cheap.
+  auto tel = std::make_shared<obs::RunTelemetry>();
+  tel->stats_start = stats_start_;
+  tel->end = sched_.now();
+  auto& d = tel->detail;
+  auto add = [&d](std::string name, double v) {
+    d.emplace_back(std::move(name), v);
+  };
+
+  add("response.mean_s", metrics_.response.mean());
+  add("response.stddev_s", metrics_.response.stddev());
+  add("response.min_s", metrics_.response.min());
+  add("response.max_s", metrics_.response.max());
+  add("response.count", static_cast<double>(metrics_.response.count()));
+  add("response.ci95_s", metrics_.response_batches.half_width_95());
+  add("response.batches", static_cast<double>(metrics_.response_batches.batches()));
+  add("response.p50_s", metrics_.response_hist.quantile(0.50));
+  add("response.p95_s", metrics_.response_hist.quantile(0.95));
+  add("response.p99_s", metrics_.response_hist.quantile(0.99));
+  add("response.per_ref_s", metrics_.response_per_ref.mean());
+  for (std::size_t t = 0; t < metrics_.per_type_response.size(); ++t) {
+    add("response.type" + std::to_string(t) + ".mean_s",
+        metrics_.per_type_response[t].mean());
+    add("response.type" + std::to_string(t) + ".count",
+        static_cast<double>(metrics_.per_type_response[t].count()));
+  }
+  add("txn.commits", static_cast<double>(commits));
+  add("txn.aborts", static_cast<double>(metrics_.aborts.value()));
+  add("txn.restarts", static_cast<double>(metrics_.restarts.value()));
+  add("txn.lost", static_cast<double>(metrics_.lost_txns.value()));
+  add("txn.mpl_wait_s", metrics_.mpl_wait.mean());
+  add("recovery.count", static_cast<double>(metrics_.recovery_time.count()));
+  add("recovery.mean_s", metrics_.recovery_time.mean());
+  add("breakdown.cpu_s", metrics_.breakdown_cpu.mean());
+  add("breakdown.cpu_wait_s", metrics_.breakdown_cpu_wait.mean());
+  add("breakdown.io_s", metrics_.breakdown_io.mean());
+  add("breakdown.cc_s", metrics_.breakdown_cc.mean());
+  add("breakdown.queue_s", metrics_.breakdown_queue.mean());
+
+  for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+    const std::string pre = "buffer." + cfg_.partitions[p].name + ".";
+    add(pre + "hits", static_cast<double>(metrics_.hits[p].value()));
+    add(pre + "misses", static_cast<double>(metrics_.misses[p].value()));
+    add(pre + "hit_ratio", metrics_.hit_ratio(p));
+    add(pre + "invalidations",
+        static_cast<double>(metrics_.invalidations_by_partition[p].value()));
+  }
+  add("buffer.invalidations",
+      static_cast<double>(metrics_.invalidations.value()));
+  add("buffer.page_requests",
+      static_cast<double>(metrics_.page_requests.value()));
+  add("buffer.page_request_misses",
+      static_cast<double>(metrics_.page_request_misses.value()));
+  add("buffer.page_request_delay_s", metrics_.page_request_delay.mean());
+  add("buffer.evict_writes", static_cast<double>(metrics_.evict_writes.value()));
+  add("buffer.force_writes", static_cast<double>(metrics_.force_writes.value()));
+
+  add("cc.lock_requests", static_cast<double>(metrics_.lock_requests.value()));
+  add("cc.lock_local", static_cast<double>(metrics_.lock_local.value()));
+  add("cc.lock_remote", static_cast<double>(metrics_.lock_remote.value()));
+  add("cc.lock_auth_local",
+      static_cast<double>(metrics_.lock_auth_local.value()));
+  add("cc.local_lock_fraction", metrics_.local_lock_fraction());
+  add("cc.lock_waits", static_cast<double>(metrics_.lock_waits.value()));
+  add("cc.lock_wait_s", metrics_.lock_wait_time.mean());
+  add("cc.deadlocks", static_cast<double>(metrics_.deadlocks.value()));
+  add("cc.revocations", static_cast<double>(metrics_.revocations.value()));
+  add("cc.coherency_violations",
+      static_cast<double>(metrics_.coherency_violations.value()));
+
+  auto add_resource = [&](const std::string& pre, const sim::Resource& res) {
+    add(pre + ".util", res.utilization());
+    add(pre + ".queue_mean", res.mean_queue_length());
+    add(pre + ".wait_mean_s", res.wait_stat().mean());
+    add(pre + ".completions", static_cast<double>(res.completions()));
+  };
+  for (std::size_t n = 0; n < cpus_.size(); ++n) {
+    add_resource("cpu.node" + std::to_string(n), cpus_[n]->resource());
+  }
+  for (std::size_t n = 0; n < tms_.size(); ++n) {
+    add_resource("mpl.node" + std::to_string(n), tms_[n]->mpl());
+  }
+  add_resource("gem", gem_->server());
+  add("gem.page_ops", static_cast<double>(gem_->page_ops()));
+  add("gem.entry_ops", static_cast<double>(gem_->entry_ops()));
+  add_resource("net", network_->link());
+  add("net.short_msgs", static_cast<double>(network_->short_count()));
+  add("net.long_msgs", static_cast<double>(network_->long_count()));
+  add("net.messages_sent", static_cast<double>(comm_->messages_sent()));
+  for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+    if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+      const std::string pre = "disk." + cfg_.partitions[p].name;
+      add_resource(pre + ".arms", g->arms());
+      add_resource(pre + ".controllers", g->controllers());
+      add(pre + ".reads", static_cast<double>(g->reads()));
+      add(pre + ".writes", static_cast<double>(g->writes()));
+    }
+  }
+  for (std::size_t n = 0; n < static_cast<std::size_t>(cfg_.nodes); ++n) {
+    const auto& g = storage_->log_group(static_cast<NodeId>(n));
+    const std::string pre = "log.node" + std::to_string(n);
+    add_resource(pre + ".arms", g.arms());
+    add(pre + ".writes", static_cast<double>(g.writes()));
+  }
+  add("sched.queued_events", static_cast<double>(sched_.queued_events()));
+
+  tel->samples = samples_;
+  tel->slowest = slow_log_.sorted();
+  if (trace_) {
+    tel->trace_enabled = true;
+    tel->events = trace_->snapshot();
+    tel->events_dropped = trace_->dropped();
+  }
+  r.telemetry = std::move(tel);
   return r;
 }
 

@@ -10,6 +10,8 @@
 #include "net/comm.hpp"
 #include "net/network.hpp"
 #include "node/buffer_manager.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "node/cpu.hpp"
 #include "node/log_manager.hpp"
 #include "node/transaction_manager.hpp"
@@ -60,6 +62,11 @@ class System {
   net::Network& network() { return *network_; }
   const SystemConfig& config() const { return cfg_; }
 
+  // observability (null/empty unless enabled in cfg.obs)
+  obs::TraceRecorder* trace() { return trace_.get(); }
+  const std::vector<obs::Sample>& samples() const { return samples_; }
+  const obs::SlowTxnLog& slow_log() const { return slow_log_; }
+
   /// Inject one transaction directly (tests).
   void submit(NodeId node, workload::TxnSpec spec) {
     tms_[static_cast<std::size_t>(node)]->submit(std::move(spec), sched_.now());
@@ -78,6 +85,10 @@ class System {
  private:
   sim::Task<void> source();
   sim::Task<void> recovery_process(NodeId n, sim::SimTime crash_time);
+  /// Periodic telemetry probe (cfg.obs.sample_every > 0): reads counters and
+  /// instantaneous device state, never mutates simulation state or draws
+  /// random numbers — observation must not perturb results.
+  sim::Task<void> sampler();
 
   SystemConfig cfg_;
   sim::Scheduler sched_;
@@ -94,8 +105,12 @@ class System {
   std::vector<std::unique_ptr<node::TransactionManager>> tms_;
   Workload wl_;
   std::vector<bool> node_up_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  obs::SlowTxnLog slow_log_;
+  std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;
   bool source_started_ = false;
+  bool stats_reset_ = false;  ///< samples before the first reset are warm-up
   std::uint64_t recovery_ids_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "core/config.hpp"
 #include "net/network.hpp"
 #include "node/cpu.hpp"
+#include "obs/trace.hpp"
 #include "storage/gem_device.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
@@ -33,10 +34,17 @@ class Comm {
 
   void attach_nodes(std::vector<node::CpuSet*> cpus) { cpus_ = std::move(cpus); }
 
+#if GEMSD_TRACING_ENABLED
+  void set_trace(obs::TraceRecorder* t) { trace_ = t; }
+#else
+  void set_trace(obs::TraceRecorder*) {}
+#endif
+
   /// Awaited by the sender; returns after send-side CPU processing.
   sim::Task<void> send(NodeId from, NodeId to, bool long_msg,
                        sim::Task<void> handler) {
     assert(from != to && "no self-messages: local work is message-free");
+    const sim::SimTime t0 = sched_.now();
     if (cfg_.transport == MsgTransport::GemStore && gem_ != nullptr) {
       // Storage-based communication (Section 2): the sender deposits the
       // message in GEM with a synchronous access and a slim CPU path; the
@@ -47,23 +55,45 @@ class Comm {
       co_await gem_transfer(long_msg);
       c.release();
       sent_.inc();
-      sched_.spawn(deliver_gem(to, long_msg, std::move(handler)));
+      const std::uint64_t fid = sent_.value();
+      if (trace_) {
+        trace_->span(obs::TraceName::kMsgSend, static_cast<std::int16_t>(from),
+                     fid, t0, sched_.now(), long_msg ? 1.0 : 0.0);
+        trace_->flow(obs::TraceKind::FlowBegin, static_cast<std::int16_t>(from),
+                     fid, sched_.now(), long_msg);
+      }
+      sched_.spawn(deliver_gem(to, long_msg, fid, std::move(handler)));
       co_return;
     }
     const double instr = long_msg ? cfg_.long_instr : cfg_.short_instr;
     co_await cpus_[static_cast<std::size_t>(from)]->consume(instr);
     sent_.inc();
-    sched_.spawn(deliver(to, long_msg, std::move(handler)));
+    const std::uint64_t fid = sent_.value();
+    if (trace_) {
+      trace_->span(obs::TraceName::kMsgSend, static_cast<std::int16_t>(from),
+                   fid, t0, sched_.now(), long_msg ? 1.0 : 0.0);
+      trace_->flow(obs::TraceKind::FlowBegin, static_cast<std::int16_t>(from),
+                   fid, sched_.now(), long_msg);
+    }
+    sched_.spawn(deliver(to, long_msg, fid, std::move(handler)));
   }
 
   std::uint64_t messages_sent() const { return sent_.value(); }
   void reset_stats() { sent_.reset(); }
 
  private:
-  sim::Task<void> deliver(NodeId to, bool long_msg, sim::Task<void> handler) {
+  sim::Task<void> deliver(NodeId to, bool long_msg, std::uint64_t fid,
+                          sim::Task<void> handler) {
+    const sim::SimTime t0 = sched_.now();
     co_await net_.transmit(long_msg);
     const double instr = long_msg ? cfg_.long_instr : cfg_.short_instr;
     co_await cpus_[static_cast<std::size_t>(to)]->consume(instr);
+    if (trace_) {
+      trace_->span(obs::TraceName::kMsgRecv, static_cast<std::int16_t>(to),
+                   fid, t0, sched_.now(), long_msg ? 1.0 : 0.0);
+      trace_->flow(obs::TraceKind::FlowEnd, static_cast<std::int16_t>(to), fid,
+                   sched_.now(), long_msg);
+    }
     co_await std::move(handler);
   }
 
@@ -77,13 +107,20 @@ class Comm {
     }
   }
 
-  sim::Task<void> deliver_gem(NodeId to, bool long_msg,
+  sim::Task<void> deliver_gem(NodeId to, bool long_msg, std::uint64_t fid,
                               sim::Task<void> handler) {
+    const sim::SimTime t0 = sched_.now();
     auto& c = *cpus_[static_cast<std::size_t>(to)];
     co_await c.acquire();
     co_await c.busy(cfg_.gem_msg_instr);
     co_await gem_transfer(long_msg);
     c.release();
+    if (trace_) {
+      trace_->span(obs::TraceName::kMsgRecv, static_cast<std::int16_t>(to),
+                   fid, t0, sched_.now(), long_msg ? 1.0 : 0.0);
+      trace_->flow(obs::TraceKind::FlowEnd, static_cast<std::int16_t>(to), fid,
+                   sched_.now(), long_msg);
+    }
     co_await std::move(handler);
   }
 
@@ -93,6 +130,11 @@ class Comm {
   storage::GemDevice* gem_;
   std::vector<node::CpuSet*> cpus_;
   sim::Counter sent_;
+#if GEMSD_TRACING_ENABLED
+  obs::TraceRecorder* trace_ = nullptr;
+#else
+  static constexpr obs::TraceRecorder* trace_ = nullptr;
+#endif
 };
 
 }  // namespace gemsd::net

@@ -83,6 +83,10 @@ sim::Task<void> BufferManager::device_read(Txn* txn, PageId p) {
     if (txn) txn->t_cpu_wait += w;
   }
   if (txn) txn->t_io += sched_.now() - t0;
+  if (metrics_.trace) {
+    metrics_.trace->span(obs::TraceName::kIoRead, node_, txn ? txn->id : 0, t0,
+                         sched_.now(), static_cast<double>(p.page));
+  }
 }
 
 sim::Task<void> BufferManager::stage_into_gem_cache(PageId p, bool dirty) {
@@ -114,6 +118,10 @@ sim::Task<void> BufferManager::device_write(Txn* txn, PageId p) {
     if (txn) txn->t_cpu_wait += w;
   }
   if (txn) txn->t_io += sched_.now() - t0;
+  if (metrics_.trace) {
+    metrics_.trace->span(obs::TraceName::kIoWrite, node_, txn ? txn->id : 0,
+                         t0, sched_.now(), static_cast<double>(p.page));
+  }
 }
 
 sim::Task<void> BufferManager::read_from_storage(Txn* txn, PageId p,
@@ -218,6 +226,10 @@ sim::Task<void> BufferManager::write_log(Txn* txn) {
     if (txn) txn->t_cpu_wait += w;
   }
   if (txn) txn->t_io += sched_.now() - t0;
+  if (metrics_.trace) {
+    metrics_.trace->span(obs::TraceName::kIoLog, node_, txn ? txn->id : 0, t0,
+                         sched_.now());
+  }
 }
 
 sim::Task<void> BufferManager::access_unlocked(Txn& txn, PageId p, bool write,

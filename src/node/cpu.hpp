@@ -46,6 +46,7 @@ class CpuSet {
   const sim::MeanStat& wait_stat() const { return procs_.wait_stat(); }
   void reset_stats() { procs_.reset_stats(); }
   int processors() const { return cfg_.processors; }
+  const sim::Resource& resource() const { return procs_; }
 
  private:
   sim::Scheduler& sched_;

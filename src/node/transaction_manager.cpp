@@ -38,9 +38,14 @@ void TransactionManager::submit(workload::TxnSpec spec, sim::SimTime arrival) {
 }
 
 sim::Task<void> TransactionManager::consume_cpu(Txn& txn, double instr) {
+  const sim::SimTime t0 = sched_.now();
   const double wait = co_await cpu_.consume(instr);
   txn.t_cpu_wait += wait;
   txn.t_cpu += cpu_.seconds(instr);
+  if (metrics_.trace) {
+    metrics_.trace->span(obs::TraceName::kCpu, node_, txn.id, t0, sched_.now(),
+                         wait);
+  }
 }
 
 PageId TransactionManager::resolve_append(PageId ref, bool& fresh_page) {
@@ -126,6 +131,12 @@ sim::Task<bool> TransactionManager::execute(Txn& txn) {
   }
   co_await j.wait_all();
   txn.t_io += sched_.now() - io0;
+  if (metrics_.trace && sched_.now() > io0) {
+    // Log + FORCE writes run in parallel on one transaction lane: collapsed
+    // into a single commit-I/O span so the lane's slices stay nested.
+    metrics_.trace->span(obs::TraceName::kCommitIo, node_, txn.id, io0,
+                         sched_.now());
+  }
 
   // --- commit phase 2: release locks / propagate ownership ---
   const sim::SimTime cc0 = sched_.now();
@@ -140,6 +151,10 @@ sim::Task<void> TransactionManager::run(Txn txn) {
   const double qwait = co_await mpl_.acquire();
   txn.t_queue = qwait;
   metrics_.mpl_wait.add(qwait);
+  if (metrics_.trace && qwait > 0.0) {
+    metrics_.trace->span(obs::TraceName::kMplWait, node_, txn.id,
+                         sched_.now() - qwait, sched_.now());
+  }
 
   for (;;) {
     const bool committed = co_await execute(txn);
@@ -157,6 +172,10 @@ sim::Task<void> TransactionManager::run(Txn txn) {
     metrics_.restarts.inc();
     ++txn.restarts;
     txn.t_cpu = txn.t_cpu_wait = txn.t_io = txn.t_cc = 0;
+    if (metrics_.trace) {
+      metrics_.trace->instant(obs::TraceName::kRestart, node_, txn.id,
+                              sched_.now());
+    }
     co_await sched_.delay(cfg_.restart_delay);
   }
 
@@ -180,6 +199,38 @@ sim::Task<void> TransactionManager::run(Txn txn) {
   metrics_.breakdown_io.add(txn.t_io);
   metrics_.breakdown_cc.add(txn.t_cc);
   metrics_.breakdown_queue.add(txn.t_queue);
+
+  if (metrics_.trace) {
+    auto* tr = metrics_.trace;
+    const sim::SimTime now = sched_.now();
+    tr->span(obs::TraceName::kTxn, node_, txn.id, txn.arrival, now,
+             static_cast<double>(txn.spec.type));
+    tr->instant(obs::TraceName::kCommit, node_, txn.id, now);
+    // Phase totals carry the exact seconds added to Metrics::breakdown_* so
+    // the exported span args reconcile with the report by construction.
+    tr->phase_total(obs::TraceName::kPhaseCpu, node_, txn.id, now, txn.t_cpu);
+    tr->phase_total(obs::TraceName::kPhaseCpuWait, node_, txn.id, now,
+                    txn.t_cpu_wait);
+    tr->phase_total(obs::TraceName::kPhaseIo, node_, txn.id, now, txn.t_io);
+    tr->phase_total(obs::TraceName::kPhaseCc, node_, txn.id, now, txn.t_cc);
+    tr->phase_total(obs::TraceName::kPhaseQueue, node_, txn.id, now,
+                    txn.t_queue);
+  }
+  if (metrics_.slow) {
+    obs::SlowTxn s;
+    s.id = txn.id;
+    s.node = static_cast<std::int16_t>(node_);
+    s.type = txn.spec.type;
+    s.restarts = txn.restarts;
+    s.arrival = txn.arrival;
+    s.response = rt;
+    s.cpu = txn.t_cpu;
+    s.cpu_wait = txn.t_cpu_wait;
+    s.io = txn.t_io;
+    s.cc = txn.t_cc;
+    s.queue = txn.t_queue;
+    metrics_.slow->add(s);
+  }
 }
 
 }  // namespace gemsd::node

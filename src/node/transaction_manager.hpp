@@ -38,6 +38,7 @@ class TransactionManager {
 
   int active() const { return active_; }
   std::uint64_t submitted() const { return submitted_; }
+  const sim::Resource& mpl() const { return mpl_; }
 
   /// Node crash / restart: while failed, in-flight transactions are killed
   /// at their next step (their locks are released) and count as lost.

@@ -1,0 +1,404 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace gemsd::obs {
+
+// --- writer ---
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_item_.empty()) {
+    if (has_item_.back()) out_ += ',';
+    has_item_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  has_item_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  has_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  has_item_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma();
+  out_ += number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value_null() {
+  comma();
+  out_ += "null";
+}
+
+void JsonWriter::raw(const std::string& json) {
+  comma();
+  out_ += json;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Exact small integers print without a fraction (counter values, ids).
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+// --- parser ---
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string* error;
+
+  bool fail(const std::string& msg) {
+    if (error->empty()) *error = msg;
+    return false;
+  }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool parse_value(JsonValue& out);
+
+  bool parse_string(std::string& out) {
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("truncated escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // UTF-8 encode (surrogate pairs not needed for our documents).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p += 4;
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+};
+
+bool Parser::parse_value(JsonValue& out) {
+  skip_ws();
+  if (p >= end) return fail("unexpected end of input");
+  const char c = *p;
+  if (c == '{') {
+    ++p;
+    out.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (p < end && *p == '}') { ++p; return true; }
+    for (;;) {
+      skip_ws();
+      std::string k;
+      if (!parse_string(k)) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return fail("expected ':'");
+      ++p;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace(std::move(k), std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') { ++p; continue; }
+      if (p < end && *p == '}') { ++p; return true; }
+      return fail("expected ',' or '}'");
+    }
+  }
+  if (c == '[') {
+    ++p;
+    out.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (p < end && *p == ']') { ++p; return true; }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (p < end && *p == ',') { ++p; continue; }
+      if (p < end && *p == ']') { ++p; return true; }
+      return fail("expected ',' or ']'");
+    }
+  }
+  if (c == '"') {
+    out.kind = JsonValue::Kind::String;
+    return parse_string(out.str);
+  }
+  if (std::strncmp(p, "true", 4) == 0 && end - p >= 4) {
+    out.kind = JsonValue::Kind::Bool;
+    out.b = true;
+    p += 4;
+    return true;
+  }
+  if (std::strncmp(p, "false", 5) == 0 && end - p >= 5) {
+    out.kind = JsonValue::Kind::Bool;
+    out.b = false;
+    p += 5;
+    return true;
+  }
+  if (std::strncmp(p, "null", 4) == 0 && end - p >= 4) {
+    out.kind = JsonValue::Kind::Null;
+    p += 4;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    char* num_end = nullptr;
+    out.kind = JsonValue::Kind::Number;
+    out.num = std::strtod(p, &num_end);
+    if (num_end == p) return fail("bad number");
+    p = num_end;
+    return true;
+  }
+  return fail(std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue& out, std::string& error) {
+  error.clear();
+  out = JsonValue{};  // parse_value fills containers in place; start fresh
+  Parser parser{text.data(), text.data() + text.size(), &error};
+  if (!parser.parse_value(out)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end) {
+    error = "trailing characters after document";
+    return false;
+  }
+  return true;
+}
+
+// --- schema validation (subset) ---
+
+namespace {
+
+const char* kind_name(JsonValue::Kind k) {
+  switch (k) {
+    case JsonValue::Kind::Null: return "null";
+    case JsonValue::Kind::Bool: return "boolean";
+    case JsonValue::Kind::Number: return "number";
+    case JsonValue::Kind::String: return "string";
+    case JsonValue::Kind::Array: return "array";
+    case JsonValue::Kind::Object: return "object";
+  }
+  return "?";
+}
+
+bool type_matches(const std::string& type, const JsonValue& doc) {
+  if (type == "object") return doc.kind == JsonValue::Kind::Object;
+  if (type == "array") return doc.kind == JsonValue::Kind::Array;
+  if (type == "string") return doc.kind == JsonValue::Kind::String;
+  if (type == "boolean") return doc.kind == JsonValue::Kind::Bool;
+  if (type == "null") return doc.kind == JsonValue::Kind::Null;
+  if (type == "number") return doc.kind == JsonValue::Kind::Number;
+  if (type == "integer") {
+    return doc.kind == JsonValue::Kind::Number &&
+           doc.num == std::floor(doc.num);
+  }
+  return false;
+}
+
+void validate_at(const JsonValue& schema, const JsonValue& doc,
+                 const std::string& path, std::vector<std::string>& errors) {
+  if (!schema.is_object()) return;  // boolean/empty schema: accept
+
+  if (const JsonValue* type = schema.find("type")) {
+    bool ok = false;
+    if (type->is_string()) {
+      ok = type_matches(type->str, doc);
+    } else if (type->is_array()) {
+      for (const auto& t : type->arr)
+        if (t.is_string() && type_matches(t.str, doc)) ok = true;
+    }
+    if (!ok) {
+      errors.push_back(path + ": expected type " +
+                       (type->is_string() ? type->str : "(union)") + ", got " +
+                       kind_name(doc.kind));
+      return;  // type mismatch makes the remaining keywords meaningless
+    }
+  }
+
+  if (const JsonValue* en = schema.find("enum")) {
+    bool ok = false;
+    for (const auto& cand : en->arr) {
+      if (cand.kind != doc.kind) continue;
+      if (cand.is_string() && cand.str == doc.str) ok = true;
+      if (cand.is_number() && cand.num == doc.num) ok = true;
+    }
+    if (!ok) errors.push_back(path + ": value not in enum");
+  }
+
+  if (doc.is_object()) {
+    if (const JsonValue* req = schema.find("required")) {
+      for (const auto& k : req->arr) {
+        if (k.is_string() && doc.find(k.str) == nullptr) {
+          errors.push_back(path + ": missing required key '" + k.str + "'");
+        }
+      }
+    }
+    const JsonValue* props = schema.find("properties");
+    if (props != nullptr && props->is_object()) {
+      for (const auto& [k, sub] : props->obj) {
+        if (const JsonValue* v = doc.find(k)) {
+          validate_at(sub, *v, path + "." + k, errors);
+        }
+      }
+    }
+    if (const JsonValue* ap = schema.find("additionalProperties")) {
+      if (ap->kind == JsonValue::Kind::Bool && !ap->b) {
+        for (const auto& [k, v] : doc.obj) {
+          (void)v;
+          if (props == nullptr || props->find(k) == nullptr) {
+            errors.push_back(path + ": unexpected key '" + k + "'");
+          }
+        }
+      }
+    }
+  }
+
+  if (doc.is_array()) {
+    if (const JsonValue* min_items = schema.find("minItems")) {
+      if (min_items->is_number() &&
+          doc.arr.size() < static_cast<std::size_t>(min_items->num)) {
+        errors.push_back(path + ": fewer than minItems elements");
+      }
+    }
+    if (const JsonValue* items = schema.find("items")) {
+      for (std::size_t i = 0; i < doc.arr.size(); ++i) {
+        validate_at(*items, doc.arr[i], path + "[" + std::to_string(i) + "]",
+                    errors);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool json_schema_validate(const JsonValue& schema, const JsonValue& doc,
+                          std::vector<std::string>& errors) {
+  const std::size_t before = errors.size();
+  validate_at(schema, doc, "$", errors);
+  return errors.size() == before;
+}
+
+}  // namespace gemsd::obs

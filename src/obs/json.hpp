@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gemsd::obs {
+
+/// Streaming JSON writer. Produces deterministic output (fixed key order —
+/// whatever order the caller emits — and fixed number formatting), which the
+/// telemetry tests rely on: the same run must serialize to the same bytes at
+/// any --jobs value.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Key inside an object; follow with exactly one value (or container).
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void value_null();
+  /// Splice a pre-serialized JSON fragment as a value (no validation).
+  void raw(const std::string& json);
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  void kv(const std::string& k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  static std::string escape(const std::string& s);
+  /// Shortest deterministic representation: integers without exponent where
+  /// exact, otherwise %.12g. Non-finite values serialize as 0 (JSON has no
+  /// NaN/Inf).
+  static std::string number(double v);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> has_item_;  ///< per open container: item already written
+  bool pending_key_ = false;
+};
+
+/// Minimal parsed-JSON value (null/bool/number/string/array/object) for the
+/// schema validator, tests and tools. Not a general-purpose library: numbers
+/// are doubles, object key order is not preserved (std::map — deterministic
+/// but sorted).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  const JsonValue* find(const std::string& k) const {
+    if (kind != Kind::Object) return nullptr;
+    auto it = obj.find(k);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parse a complete JSON document. Returns false (and fills `error`) on
+/// malformed input; trailing non-whitespace is an error.
+bool json_parse(const std::string& text, JsonValue& out, std::string& error);
+
+/// Validate `doc` against a JSON-Schema subset: type, required, properties,
+/// items (single schema), enum (strings/numbers), minItems,
+/// additionalProperties (bool only; default true). Returns true when valid;
+/// appends human-readable problems ("$.runs[3].metrics: missing required key
+/// 'resp_ms'") to `errors` otherwise.
+bool json_schema_validate(const JsonValue& schema, const JsonValue& doc,
+                          std::vector<std::string>& errors);
+
+}  // namespace gemsd::obs

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// Compile-time master switch for simulation tracing. With
+/// -DGEMSD_TRACING_ENABLED=0 every record site folds to nothing (the
+/// recorder pointer in Metrics becomes a constexpr nullptr and the guarded
+/// branches are dead code); the default build keeps tracing available behind
+/// a single predictable null-pointer test per site, which is unreachable from
+/// the event-kernel hot loops (bench_kernel never touches a record site).
+#ifndef GEMSD_TRACING_ENABLED
+#define GEMSD_TRACING_ENABLED 1
+#endif
+
+namespace gemsd::obs {
+
+/// Event taxonomy. Span/instant names, per-transaction phase totals, and the
+/// sampler's counter tracks share one 8-bit id space (docs/observability.md
+/// documents the mapping to Chrome trace categories).
+enum class TraceName : std::uint8_t {
+  // spans / instants (transaction- or device-scoped)
+  kTxn,          ///< whole transaction lifecycle (arrival -> commit)
+  kMplWait,      ///< input-queue wait for an MPL slot
+  kCpu,          ///< one CPU burst incl. processor queueing (value = wait)
+  kLockWait,     ///< blocked lock request (value = page number)
+  kPageRequest,  ///< direct page transfer from the owning node
+  kIoRead,       ///< device-level page read (value = page number)
+  kIoWrite,      ///< device-level page write (value = page number)
+  kIoLog,        ///< log append
+  kCommitIo,     ///< commit phase 1: log + FORCE writes (parallel)
+  kMsgSend,      ///< send-side message processing (id = flow id)
+  kMsgRecv,      ///< receive-side message processing (id = flow id)
+  kRestart,      ///< deadlock victim restarts (instant)
+  kDeadlock,     ///< deadlock detected, this txn is the victim (instant)
+  kCommit,       ///< commit point (instant)
+  // per-transaction phase totals (merged into the txn span's args by the
+  // exporter; values are the exact seconds added to Metrics::breakdown_*)
+  kPhaseCpu,
+  kPhaseCpuWait,
+  kPhaseIo,
+  kPhaseCc,
+  kPhaseQueue,
+  // sampler counter tracks
+  kCtrThroughput,  ///< committed txns/s in the last sample window
+  kCtrResponse,    ///< mean response [ms] over the last sample window
+  kCtrActive,      ///< transactions admitted past the MPL gate (per node)
+  kCtrMplQueue,    ///< transactions waiting for an MPL slot (per node)
+  kCtrCpuBusy,     ///< busy processors / processors (per node)
+  kCtrGemBusy,     ///< busy GEM servers / servers
+  kCtrNetBusy,     ///< network link busy (0/1)
+  kCtrDiskQueue,   ///< pages queued for DB disk arms (all partitions)
+  kCtrSchedQueue,  ///< events pending in the simulation scheduler
+  kCount
+};
+
+const char* to_string(TraceName n);
+/// Chrome trace "cat" field for the event name ("txn", "cc", "io", "net",
+/// "sampler").
+const char* category(TraceName n);
+
+enum class TraceKind : std::uint8_t {
+  Span,        ///< t = start, dur = duration
+  Instant,     ///< t = time
+  Counter,     ///< t = time, value = sample
+  FlowBegin,   ///< message leaves `node` (id = flow id)
+  FlowEnd,     ///< message arrives at `node`
+  PhaseTotal,  ///< per-txn phase aggregate, value = seconds
+};
+
+/// One trace record. Trivially copyable and fixed-size by design: recording
+/// is a bounds check plus a 40-byte store into a preallocated ring — no
+/// allocation, no strings, no virtual dispatch on the simulation's hot paths.
+struct TraceEvent {
+  sim::SimTime t = 0.0;    ///< start (spans) or event time, simulated seconds
+  double dur = 0.0;        ///< span duration (seconds)
+  double value = 0.0;      ///< counter sample / phase seconds / aux payload
+  std::uint64_t id = 0;    ///< transaction id, flow id, or 0
+  TraceName name = TraceName::kTxn;
+  TraceKind kind = TraceKind::Span;
+  std::int16_t node = -1;  ///< -1 = cluster-wide
+  std::uint32_t pad = 0;
+};
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+static_assert(sizeof(TraceEvent) == 40);
+
+/// Fixed-capacity ring buffer of trace events. When full, the oldest events
+/// are overwritten (and counted as dropped) so a trace always holds the most
+/// recent window — the matching txn span + phase totals are emitted together
+/// at commit time, so the tail of a trace is always self-consistent.
+///
+/// Strictly single-threaded like everything else inside one simulation run;
+/// parallel sweeps give each System its own recorder, which keeps traces
+/// bit-identical at any --jobs value.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {
+    buf_.reserve(capacity_);
+  }
+
+  void record(const TraceEvent& e) {
+    if (buf_.size() < capacity_) {
+      buf_.push_back(e);
+      return;
+    }
+    buf_[head_] = e;
+    if (++head_ == capacity_) head_ = 0;
+    ++dropped_;
+  }
+
+  void span(TraceName n, std::int16_t node, std::uint64_t id, sim::SimTime t0,
+            sim::SimTime t1, double value = 0.0) {
+    record(TraceEvent{t0, t1 - t0, value, id, n, TraceKind::Span, node, 0});
+  }
+  void instant(TraceName n, std::int16_t node, std::uint64_t id, sim::SimTime t,
+               double value = 0.0) {
+    record(TraceEvent{t, 0.0, value, id, n, TraceKind::Instant, node, 0});
+  }
+  void counter(TraceName n, std::int16_t node, sim::SimTime t, double value) {
+    record(TraceEvent{t, 0.0, value, 0, n, TraceKind::Counter, node, 0});
+  }
+  void flow(TraceKind kind, std::int16_t node, std::uint64_t flow_id,
+            sim::SimTime t, bool long_msg) {
+    record(TraceEvent{t, 0.0, long_msg ? 1.0 : 0.0, flow_id,
+                      kind == TraceKind::FlowBegin ? TraceName::kMsgSend
+                                                   : TraceName::kMsgRecv,
+                      kind, node, 0});
+  }
+  void phase_total(TraceName n, std::int16_t node, std::uint64_t id,
+                   sim::SimTime t, double seconds) {
+    record(TraceEvent{t, 0.0, seconds, id, n, TraceKind::PhaseTotal, node, 0});
+  }
+
+  /// Drop all recorded events (measurement-interval start).
+  void clear() {
+    buf_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events in chronological record order (ring resolved).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buf_.size());
+    out.insert(out.end(), buf_.begin() + static_cast<std::ptrdiff_t>(head_),
+               buf_.end());
+    out.insert(out.end(), buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> buf_;
+  std::size_t head_ = 0;  ///< oldest element once the ring has wrapped
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gemsd::obs

@@ -12,6 +12,14 @@
 
 namespace gemsd::sim {
 
+/// num/den with an explicit convention for an empty denominator. Every
+/// zero-sample ratio in the codebase (hit ratios, per-transaction rates,
+/// local-lock fractions) goes through this one helper so the edge-case
+/// behaviour is defined — and unit-tested — in exactly one place.
+constexpr double safe_ratio(double num, double den, double if_zero = 0.0) {
+  return den > 0.0 ? num / den : if_zero;
+}
+
 /// Online mean/variance accumulator (Welford's algorithm) with min/max.
 class MeanStat {
  public:

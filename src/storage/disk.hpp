@@ -42,6 +42,8 @@ class DiskGroup {
 
   double arm_utilization() const { return arms_.utilization(); }
   double controller_utilization() const { return controllers_.utilization(); }
+  const sim::Resource& arms() const { return arms_; }
+  const sim::Resource& controllers() const { return controllers_; }
   std::uint64_t reads() const { return reads_.value(); }
   std::uint64_t writes() const { return writes_.value(); }
   const std::string& name() const { return name_; }

@@ -1,0 +1,87 @@
+// The shared zero-sample conventions: every ratio computed from simulation
+// counters goes through sim::safe_ratio, and the estimators must return
+// well-defined values before they have seen enough data (empty Histogram
+// quantiles, BatchMeans confidence intervals with fewer than two batches).
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace gemsd {
+namespace {
+
+TEST(SafeRatio, DividesWhenDenominatorPositive) {
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(6.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(0.0, 5.0), 0.0);
+}
+
+TEST(SafeRatio, ZeroDenominatorYieldsDefault) {
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(6.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(0.0, 0.0), 0.0);
+}
+
+TEST(SafeRatio, NegativeDenominatorCountsAsEmpty) {
+  // Denominators are counts or durations; anything <= 0 means "no samples".
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(1.0, -2.0), 0.0);
+}
+
+TEST(SafeRatio, CustomEmptyValue) {
+  // local_lock_fraction reports 1.0 when no lock request was ever issued.
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(0.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::safe_ratio(3.0, 4.0, 1.0), 0.75);
+}
+
+TEST(SafeRatio, IsConstexpr) {
+  static_assert(sim::safe_ratio(1.0, 2.0) == 0.5);
+  static_assert(sim::safe_ratio(1.0, 0.0, 7.0) == 7.0);
+}
+
+TEST(HistogramEdge, EmptyQuantileIsZeroAtEveryQ) {
+  sim::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 0.0);
+  }
+}
+
+TEST(HistogramEdge, ResetRestoresEmptyBehaviour) {
+  sim::Histogram h;
+  h.add(0.5);
+  EXPECT_GT(h.quantile(0.5), 0.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(BatchMeansEdge, NoSamplesGivesZeroMeanAndZeroHalfWidth) {
+  sim::BatchMeans bm(10);
+  EXPECT_EQ(bm.batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(BatchMeansEdge, OneBatchHasMeanButNoHalfWidth) {
+  sim::BatchMeans bm(4);
+  for (int i = 0; i < 4; ++i) bm.add(2.0);
+  EXPECT_EQ(bm.batches(), 1u);
+  EXPECT_DOUBLE_EQ(bm.mean(), 2.0);
+  // A confidence interval needs at least two batch means.
+  EXPECT_DOUBLE_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(BatchMeansEdge, PartialBatchDoesNotCount) {
+  sim::BatchMeans bm(100);
+  for (int i = 0; i < 99; ++i) bm.add(1.0);
+  EXPECT_EQ(bm.batches(), 0u);
+  EXPECT_DOUBLE_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(MeanStatEdge, EmptyStatIsAllZeros) {
+  sim::MeanStat m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace gemsd

@@ -2,9 +2,14 @@
 // required:
 //
 //   ./gemsd_run spec.ini [more-specs.ini ...] [--csv] [--full] [--jobs=N]
+//              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
+//              [--sample=S] [--slow-k=K]
 //
 // Multiple specs are executed as one sweep on a worker pool (--jobs=N,
 // default hardware_concurrency); results print in command-line order.
+// --metrics-json writes the structured results report (all metrics,
+// telemetry samples, slowest transactions); --trace writes a Chrome
+// trace-event file for one of the runs (pick with --trace-run).
 // See src/core/config_file.hpp for the spec format, and specs/*.ini for
 // ready-made examples.
 #include <cstdio>
@@ -23,6 +28,10 @@ int main(int argc, char** argv) {
   using namespace gemsd;
   bool csv = false, full = false;
   int jobs = 0;
+  BenchOptions obs_opt;  // carries the telemetry/export flags
+  obs_opt.sample_every = 0.0;
+  obs_opt.slow_k = 0;
+  obs_opt.no_json = true;  // only write JSON when --metrics-json is given
   std::vector<std::string> spec_files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
@@ -31,6 +40,20 @@ int main(int argc, char** argv) {
       full = true;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       jobs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      obs_opt.metrics_json = argv[i] + 15;
+      obs_opt.no_json = false;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      obs_opt.trace_file = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--trace-run=", 12) == 0) {
+      obs_opt.trace_run = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--trace-capacity=", 17) == 0) {
+      obs_opt.trace_capacity =
+          static_cast<std::size_t>(std::atoll(argv[i] + 17));
+    } else if (std::strncmp(argv[i], "--sample=", 9) == 0) {
+      obs_opt.sample_every = std::atof(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--slow-k=", 9) == 0) {
+      obs_opt.slow_k = std::atoi(argv[i] + 9);
     } else {
       spec_files.push_back(argv[i]);
     }
@@ -38,7 +61,9 @@ int main(int argc, char** argv) {
   if (spec_files.empty()) {
     std::fprintf(stderr,
                  "usage: gemsd_run <spec.ini> [more-specs.ini ...] "
-                 "[--csv] [--full] [--jobs=N]\n");
+                 "[--csv] [--full] [--jobs=N] [--metrics-json=FILE] "
+                 "[--trace=FILE] [--trace-run=I] [--sample=S] "
+                 "[--slow-k=K]\n");
     return 1;
   }
 
@@ -54,14 +79,29 @@ int main(int argc, char** argv) {
 
   struct SpecResult {
     RunResult r;
+    SystemConfig cfg;
     std::vector<std::string> names;
   };
   std::vector<std::function<SpecResult()>> tasks;
-  for (const RunSpec& spec : specs) {
-    tasks.push_back([&spec] {
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const RunSpec& spec = specs[si];
+    SystemConfig::ObsConfig obs;
+    obs.sample_every = obs_opt.sample_every;
+    obs.slow_k = obs_opt.slow_k;
+    if (!obs_opt.trace_file.empty() &&
+        si == static_cast<std::size_t>(
+                  obs_opt.trace_run < 0 ? 0 : obs_opt.trace_run) %
+                  specs.size()) {
+      obs.trace = true;
+      obs.trace_capacity = obs_opt.trace_capacity;
+    }
+    tasks.push_back([&spec, obs] {
       SpecResult out;
       if (spec.kind == RunSpec::Kind::DebitCredit) {
-        out.r = run_debit_credit(spec.cfg);
+        SystemConfig cfg = spec.cfg;
+        cfg.obs = obs;
+        out.r = run_debit_credit(cfg);
+        out.cfg = cfg;
         out.names = debit_credit_partition_names();
       } else {
         workload::Trace trace;
@@ -89,7 +129,9 @@ int main(int argc, char** argv) {
         cfg.warmup = spec.cfg.warmup;
         cfg.measure = spec.cfg.measure;
         cfg.seed = spec.cfg.seed;
+        cfg.obs = obs;
         out.r = run_trace(cfg, trace);
+        out.cfg = cfg;
         for (int f = 0; f < trace.num_files; ++f) {
           out.names.push_back("F" + std::to_string(f));
         }
@@ -106,12 +148,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!obs_opt.no_json || !obs_opt.trace_file.empty()) {
+    std::vector<BenchRun> bruns(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      bruns[i].config = results[i].cfg;
+      bruns[i].result = results[i].r;
+    }
+    std::string caption = "gemsd_run:";
+    for (const std::string& f : spec_files) caption += " " + f;
+    if (!obs_opt.no_json) {
+      write_bench_json("run", caption, obs_opt, bruns,
+                       results.empty() ? std::vector<std::string>{}
+                                       : results.front().names);
+    }
+    write_trace_file(obs_opt, bruns);
+  }
+
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (csv) {
       print_csv({results[i].r}, results[i].names);
     } else {
       print_table("gemsd_run: " + spec_files[i], {results[i].r},
                   results[i].names, full);
+      std::printf("%s\n",
+                  fingerprint_line("run", results[i].cfg).c_str());
     }
   }
   return 0;

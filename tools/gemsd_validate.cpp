@@ -1,0 +1,74 @@
+// gemsd_validate — validate a JSON document against a JSON-Schema-subset
+// file (see src/obs/json.hpp for the supported keywords):
+//
+//   ./gemsd_validate <schema.json> <doc.json> [more-docs.json ...]
+//
+// Exits 0 when every document parses and validates, 1 otherwise. Used by CI
+// to check the bench --metrics-json and --trace outputs against
+// schemas/results.schema.json and schemas/trace.schema.json.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: gemsd_validate <schema.json> <doc.json> "
+                 "[more-docs.json ...]\n");
+    return 1;
+  }
+
+  std::string text, error;
+  obs::JsonValue schema;
+  if (!read_file(argv[1], text)) return 1;
+  if (!obs::json_parse(text, schema, error)) {
+    std::fprintf(stderr, "error: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  for (int i = 2; i < argc; ++i) {
+    obs::JsonValue doc;
+    if (!read_file(argv[i], text)) {
+      ok = false;
+      continue;
+    }
+    if (!obs::json_parse(text, doc, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", argv[i], error.c_str());
+      ok = false;
+      continue;
+    }
+    std::vector<std::string> problems;
+    if (obs::json_schema_validate(schema, doc, problems)) {
+      std::printf("%s: OK\n", argv[i]);
+    } else {
+      ok = false;
+      std::printf("%s: INVALID\n", argv[i]);
+      for (const std::string& p : problems) {
+        std::printf("  %s\n", p.c_str());
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
