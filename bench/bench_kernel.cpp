@@ -2,8 +2,22 @@
 // coroutine process spawn/await cost, resource contention handling, and the
 // fast-path split between handle-resume events (no allocation) and callback
 // events (side-slab std::function slots).
+//
+// Besides the google-benchmark console table this emits the same
+// "gemsd.results.v1" document as the figure benches (default
+// results/BENCH_kernel.json, see --metrics-json/--no-json): one run per
+// micro-benchmark, named after it, with the wall-clock numbers in `extra`.
+// gemsd_analyze --compare matches kernel runs by name and reports their
+// deltas, but never gates on them — wall-clock time is machine-dependent,
+// unlike the simulated metrics.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
@@ -93,6 +107,72 @@ void BM_QueueDepth(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueDepth)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Console output as usual, plus a copy of every per-iteration run for the
+// results document. Counters are already rate-adjusted when they reach the
+// reporter, so items_per_second can be read off directly.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double items_per_second = 0.0;
+    double real_time_ns = 0.0;  ///< wall time per iteration
+    double cpu_time_ns = 0.0;   ///< CPU time per iteration
+    double iterations = 0.0;
+  };
+  std::vector<Captured> captured;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      Captured c;
+      c.name = r.benchmark_name();
+      const auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) c.items_per_second = it->second.value;
+      c.real_time_ns = r.GetAdjustedRealTime();
+      c.cpu_time_ns = r.GetAdjustedCPUTime();
+      c.iterations = static_cast<double>(r.iterations);
+      captured.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace gemsd;
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
+  // google-benchmark must only see its own flags (it aborts on unknown ones);
+  // parse_bench_args already ignored the --benchmark_* flags above.
+  std::vector<char*> bargv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bargv.push_back(argv[i]);
+    }
+  }
+  int bargc = static_cast<int>(bargv.size());
+  benchmark::Initialize(&bargc, bargv.data());
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // The kernel benches run no simulation: config is the default SystemConfig
+  // (one shared config hash), the RunResult stays zero, and the measured
+  // numbers ride in `extra` keyed by the benchmark name.
+  std::vector<BenchRun> runs(reporter.captured.size());
+  for (std::size_t i = 0; i < reporter.captured.size(); ++i) {
+    const auto& c = reporter.captured[i];
+    runs[i].name = c.name;
+    runs[i].extra = {{"items_per_second", c.items_per_second},
+                     {"real_time_ns", c.real_time_ns},
+                     {"cpu_time_ns", c.cpu_time_ns},
+                     {"iterations", c.iterations}};
+  }
+  const std::string path = write_bench_json(
+      "kernel", "Discrete-event kernel microbenchmarks (wall clock)", opt,
+      runs, {});
+  if (!path.empty()) std::printf("results: %s\n", path.c_str());
+  return 0;
+}

@@ -60,6 +60,9 @@ LockTable::Outcome LockTable::acquire(PageId page, TxnId txn, NodeId node,
       for (auto& r : st.q) {
         if (r.txn == txn && r.granted) r.mode = mode;
       }
+      // The granted entry got stronger: waiters compatible with the old mode
+      // may now be blocked by it.
+      if (hooks_.queue_changed) hooks_.queue_changed(page, txn);
       return Outcome::Granted;
     }
     conflicts_.inc();
@@ -69,6 +72,9 @@ LockTable::Outcome LockTable::acquire(PageId page, TxnId txn, NodeId node,
                            [](const Request& r) { return !r.granted; });
     st.q.insert(it, std::move(req));
     waiting_[txn] = page;
+    // The upgrade jumped the queue: every waiter behind it just gained a
+    // blocker. (The upgrader's own edges are the caller's to emit.)
+    if (hooks_.queue_changed) hooks_.queue_changed(page, txn);
     return Outcome::Waiting;
   }
 
@@ -83,7 +89,7 @@ LockTable::Outcome LockTable::acquire(PageId page, TxnId txn, NodeId node,
   return Outcome::Waiting;
 }
 
-void LockTable::promote(PageState& st) {
+void LockTable::promote(PageId page, PageState& st) {
   // Repeatedly grant the first waiter while compatible. Upgrades sit at the
   // front and are granted when their holder is the sole remaining one.
   for (;;) {
@@ -107,8 +113,10 @@ void LockTable::promote(PageState& st) {
       }
       auto fn = std::move(it->on_grant);
       const TxnId t = it->txn;
+      const NodeId n = it->node;
       st.q.erase(it);
       waiting_.erase(t);
+      if (hooks_.granted) hooks_.granted(page, t, n);
       if (fn) fn();
       continue;
     }
@@ -116,6 +124,7 @@ void LockTable::promote(PageState& st) {
     it->granted = true;
     auto fn = std::move(it->on_grant);
     waiting_.erase(it->txn);
+    if (hooks_.granted) hooks_.granted(page, it->txn, it->node);
     if (fn) fn();
   }
 }
@@ -129,8 +138,12 @@ void LockTable::release(PageId page, TxnId txn) {
                               return r.txn == txn && r.granted;
                             }),
              st.q.end());
-  promote(st);
-  if (st.q.empty()) pages_.erase(pit);
+  promote(page, st);
+  if (st.q.empty()) {
+    pages_.erase(pit);
+  } else if (hooks_.queue_changed) {
+    hooks_.queue_changed(page, txn);
+  }
 }
 
 bool LockTable::cancel_wait(PageId page, TxnId txn) {
@@ -145,8 +158,12 @@ bool LockTable::cancel_wait(PageId page, TxnId txn) {
              st.q.end());
   const bool removed = st.q.size() != before;
   if (removed) waiting_.erase(txn);
-  promote(st);
-  if (st.q.empty()) pages_.erase(pit);
+  promote(page, st);
+  if (st.q.empty()) {
+    pages_.erase(pit);
+  } else if (hooks_.queue_changed) {
+    hooks_.queue_changed(page, txn);
+  }
   return removed;
 }
 
@@ -183,6 +200,16 @@ std::vector<TxnId> LockTable::blockers(PageId page, TxnId txn) const {
       // Earlier waiter: conservatively assumed to be ahead of us.
       out.push_back(it->txn);
     }
+  }
+  return out;
+}
+
+std::vector<std::pair<TxnId, NodeId>> LockTable::waiters(PageId page) const {
+  std::vector<std::pair<TxnId, NodeId>> out;
+  auto pit = pages_.find(page);
+  if (pit == pages_.end()) return out;
+  for (const auto& r : pit->second.q) {
+    if (!r.granted) out.emplace_back(r.txn, r.node);
   }
   return out;
 }

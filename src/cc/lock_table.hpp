@@ -3,6 +3,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
@@ -23,6 +24,20 @@ class LockTable {
  public:
   enum class Outcome { Granted, Waiting };
   using GrantFn = std::function<void()>;
+
+  /// Observability hooks, fired synchronously at every wait-queue mutation.
+  /// `granted(page, txn, node)` fires at the logical grant of a *waiting*
+  /// request (before its on_grant callback); `queue_changed(page, exclude)`
+  /// fires after any mutation that can change the blocker set of a waiting
+  /// request — the trace layer re-emits a fresh blocker snapshot for every
+  /// waiter still queued on the page (minus `exclude`, the request whose own
+  /// enqueue the protocol instruments itself). Hooks must not mutate the
+  /// table.
+  struct TraceHooks {
+    std::function<void(PageId, TxnId, NodeId)> granted;
+    std::function<void(PageId, TxnId)> queue_changed;
+  };
+  void set_trace_hooks(TraceHooks hooks) { hooks_ = std::move(hooks); }
 
   struct Request {
     TxnId txn;
@@ -56,6 +71,10 @@ class LockTable {
   /// incompatible granted holders plus incompatible earlier waiters.
   std::vector<TxnId> blockers(PageId page, TxnId txn) const;
 
+  /// All waiting (non-granted) requests on `page`, in queue order, as
+  /// (txn, node) pairs.
+  std::vector<std::pair<TxnId, NodeId>> waiters(PageId page) const;
+
   std::size_t locked_pages() const { return pages_.size(); }
   std::uint64_t requests() const { return requests_.value(); }
   std::uint64_t conflicts() const { return conflicts_.value(); }
@@ -70,11 +89,12 @@ class LockTable {
   };
 
   /// Grant whatever is now grantable at the head of the wait queue.
-  void promote(PageState& st);
+  void promote(PageId page, PageState& st);
 
   std::unordered_map<PageId, PageState> pages_;
   std::unordered_map<TxnId, PageId> waiting_;
   sim::Counter requests_, conflicts_;
+  TraceHooks hooks_;
 };
 
 /// Deadlock detection over the logical lock table: does txn (which just

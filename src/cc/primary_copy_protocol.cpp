@@ -140,17 +140,42 @@ sim::Task<void> PrimaryCopyProtocol::gla_lock_request(
     NodeId n, sim::OneShot<GrantMsg>* resp) {
   co_await cpu(g).consume(cfg().lock_instr);
   if (mode == LockMode::Write) revoke_auths(p, n, g);
+  // Same trace instrumentation as Protocol::lock_logical — the analyzer's
+  // wait-for replay needs every waiting path to emit its edges, the deadlock
+  // verdict, and a lock.wait span at grant time (which retires the edges).
+  const sim::SimTime t0 = sched().now();
   const auto res = table_.acquire(
-      p, txn, n, mode, [this, p, mode, cached, g, n, resp] {
+      p, txn, n, mode, [this, p, t0, mode, cached, g, n, txn, resp] {
         // Granted later, during a release processed at the GLA.
+        if (metrics().trace) {
+          metrics().trace->span(obs::TraceName::kLockWait,
+                                static_cast<std::int16_t>(n), txn, t0,
+                                sched().now(), static_cast<double>(p.page),
+                                static_cast<std::int32_t>(p.partition));
+        }
         sched().spawn(
             send_grant(g, n, make_grant(p, n, cached, mode, g), resp));
       });
   if (res == LockTable::Outcome::Granted) {
     co_await send_grant(g, n, make_grant(p, n, cached, mode, g), resp);
-  } else if (creates_deadlock(table_, txn)) {
+    co_return;
+  }
+  if (metrics().trace) {
+    for (TxnId b : table_.blockers(p, txn)) {
+      metrics().trace->instant(obs::TraceName::kWaitEdge,
+                               static_cast<std::int16_t>(n), txn, t0,
+                               static_cast<double>(b));
+    }
+  }
+  if (creates_deadlock(table_, txn)) {
     table_.cancel_wait(p, txn);
     metrics().deadlocks.inc();
+    if (metrics().trace) {
+      metrics().trace->instant(obs::TraceName::kDeadlock,
+                               static_cast<std::int16_t>(n), txn, t0,
+                               static_cast<double>(p.page),
+                               static_cast<std::int32_t>(p.partition));
+    }
     co_await send_grant(g, n, GrantMsg{.aborted = true}, resp);
   } else {
     metrics().lock_waits.inc();

@@ -38,6 +38,12 @@ class PrimaryCopyProtocol : public Protocol {
 
   NodeId gla_of(PageId p) const { return gla_->gla(p); }
 
+  /// Only locks whose authority is the committing node itself come off the
+  /// table inside commit_release; remote releases ride a message.
+  bool lock_release_is_synchronous(PageId p, NodeId n) const override {
+    return gla_->gla(p) == n;
+  }
+
   /// Node crash handling: while a GLA is frozen, every lock request against
   /// its partition stalls (the authority's volatile lock table is gone and
   /// must be reconstructed from the survivors before locking can resume —

@@ -1,6 +1,76 @@
 #include "cc/protocol.hpp"
 
+#include "obs/audit.hpp"
+
 namespace gemsd::cc {
+
+Protocol::Protocol(Env env) : env_(std::move(env)) {
+  if (!metrics().trace) return;
+  // Keep the trace's wait-for graph exact: enqueue-time snapshots go stale
+  // whenever a page's queue mutates (an upgrade jumps ahead of FIFO waiters,
+  // a waiter ahead gets granted in a compatible mode), so the table re-emits
+  // every still-waiting request's blocker set at each mutation — the
+  // analyzer treats a batch as a full replacement. The grant instant marks
+  // the moment a waiter stops waiting; the kLockWait span alone records too
+  // late for remote waiters (their coroutine resumes after a message delay).
+  LockTable::TraceHooks hooks;
+  hooks.granted = [this](PageId p, TxnId t, NodeId n) {
+    metrics().trace->instant(obs::TraceName::kLockGrant,
+                             static_cast<std::int16_t>(n), t, sched().now(),
+                             static_cast<double>(p.page),
+                             static_cast<std::int32_t>(p.partition));
+  };
+  hooks.queue_changed = [this](PageId p, TxnId exclude) {
+    for (const auto& [w, wn] : table_.waiters(p)) {
+      if (w == exclude) continue;
+      for (TxnId b : table_.blockers(p, w)) {
+        metrics().trace->instant(obs::TraceName::kWaitEdge,
+                                 static_cast<std::int16_t>(wn), w,
+                                 sched().now(), static_cast<double>(b));
+      }
+    }
+  };
+  table_.set_trace_hooks(std::move(hooks));
+}
+
+void Protocol::audit_commit_state(const node::Txn& txn,
+                                  const std::vector<PageId>& dirty,
+                                  obs::Auditor& audit, sim::SimTime now) {
+  for (PageId p : dirty) {
+    if (lock_release_is_synchronous(p, txn.node)) {
+      audit.check(!table_.holds(p, txn.id, LockMode::Read), "commit-release",
+                  now, txn.id, txn.node,
+                  "lock on page %lld/%d still held after commit_release",
+                  static_cast<long long>(p.page), p.partition);
+    }
+    const SeqNo s = dir_.seqno(p);
+    audit.check(s > 0, "commit-version", now, txn.id, txn.node,
+                "committed page %lld/%d still at version 0",
+                static_cast<long long>(p.page), p.partition);
+    // The committing node's copy was stamped with the new version by
+    // commit_dirty; a surviving stale copy would serve wrong data on the
+    // next local hit.
+    const auto local = buf(txn.node).cached_seqno(p);
+    audit.check(!local || *local == s, "local-coherency", now, txn.id,
+                txn.node,
+                "page %lld/%d cached at seqno %llu after committing %llu",
+                static_cast<long long>(p.page), p.partition,
+                static_cast<unsigned long long>(local ? *local : 0),
+                static_cast<unsigned long long>(s));
+    // Ownership (NOFORCE): when the directory names this node as holding
+    // the only current copy, the buffer must actually hold it (frame or
+    // in-flight write-back) at exactly that version.
+    if (dir_.owner(p) == txn.node) {
+      audit.check(local.has_value() && *local == s, "owner-coherency", now,
+                  txn.id, txn.node,
+                  "directory names node %d owner of page %lld/%d at seqno "
+                  "%llu but the buffer %s",
+                  txn.node, static_cast<long long>(p.page), p.partition,
+                  static_cast<unsigned long long>(s),
+                  local ? "holds a different version" : "has no copy");
+    }
+  }
+}
 
 sim::Task<void> Protocol::fulfill_bool(sim::OneShot<bool>* o, bool v) {
   o->set(v);
@@ -39,6 +109,20 @@ sim::Task<Protocol::Logical> Protocol::lock_logical(node::Txn& txn, PageId p,
     if (!txn.holds_page(p)) txn.held.push_back(p);
     co_return Logical::Granted;
   }
+  // Record the wait-for edges BEFORE the deadlock check so a trace shows the
+  // edges that closed the cycle (the analyzer replays them; txn ids stay
+  // exact as doubles — 11 bits of node + 40 bits of sequence < 2^53).
+  if (metrics().trace) {
+    // Our own batch comes after any hook-emitted refreshes from the enqueue
+    // (an upgrade jumping the queue refreshes the waiters behind it): its
+    // arrival is when the replay runs the cycle check, just like the
+    // simulator checks right after enqueueing us.
+    for (TxnId b : table_.blockers(p, txn.id)) {
+      metrics().trace->instant(obs::TraceName::kWaitEdge,
+                               static_cast<std::int16_t>(txn.node), txn.id,
+                               sched().now(), static_cast<double>(b));
+    }
+  }
   // Would waiting close a cycle? Then this transaction is the victim.
   if (creates_deadlock(table_, txn.id)) {
     table_.cancel_wait(p, txn.id);
@@ -46,7 +130,8 @@ sim::Task<Protocol::Logical> Protocol::lock_logical(node::Txn& txn, PageId p,
     if (metrics().trace) {
       metrics().trace->instant(obs::TraceName::kDeadlock,
                                static_cast<std::int16_t>(txn.node), txn.id,
-                               sched().now(), static_cast<double>(p.page));
+                               sched().now(), static_cast<double>(p.page),
+                               static_cast<std::int32_t>(p.partition));
     }
     co_return Logical::Aborted;
   }
@@ -57,7 +142,8 @@ sim::Task<Protocol::Logical> Protocol::lock_logical(node::Txn& txn, PageId p,
   if (metrics().trace) {
     metrics().trace->span(obs::TraceName::kLockWait,
                           static_cast<std::int16_t>(txn.node), txn.id, t0,
-                          sched().now(), static_cast<double>(p.page));
+                          sched().now(), static_cast<double>(p.page),
+                          static_cast<std::int32_t>(p.partition));
   }
   if (!txn.holds_page(p)) txn.held.push_back(p);
   co_return Logical::GrantedAfterWait;
@@ -135,7 +221,8 @@ sim::Task<void> Protocol::fetch_from_owner(node::Txn& txn, PageId p,
   if (metrics().trace) {
     metrics().trace->span(obs::TraceName::kPageRequest,
                           static_cast<std::int16_t>(me), txn.id, t0,
-                          sched().now(), static_cast<double>(p.page));
+                          sched().now(), static_cast<double>(p.page),
+                          static_cast<std::int32_t>(p.partition));
   }
   if (have_page) {
     buf(me).install(p, seqno, /*dirty=*/transfer_ownership);

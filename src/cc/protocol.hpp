@@ -52,7 +52,11 @@ class Protocol {
     std::vector<node::BufferManager*> bufs;
   };
 
-  explicit Protocol(Env env) : env_(std::move(env)) {}
+  /// Wires the lock table's trace hooks when the run records a trace (the
+  /// recorder must already be installed in Env's Metrics): every wait-queue
+  /// mutation re-emits fresh blocker snapshots so the analyzer's wait-for
+  /// replay stays exact.
+  explicit Protocol(Env env);
   virtual ~Protocol() = default;
 
   /// Strict-2PL lock acquisition for a page reference (the transaction must
@@ -75,6 +79,23 @@ class Protocol {
 
   /// Write-back hook (dirty LRU victim reached storage).
   void on_writeback(NodeId n, PageId p, SeqNo s) { dir_.written_back(p, n, s); }
+
+  /// Whether commit_release drops node n's lock on p before returning.
+  /// Primary copy releases remote-GLA locks asynchronously (the release
+  /// message is processed at the authority after commit_release returns), so
+  /// the post-commit lock audit must skip those pages.
+  virtual bool lock_release_is_synchronous(PageId, NodeId) const {
+    return true;
+  }
+
+  /// --audit invariants after commit_release, over the pre-commit snapshot
+  /// of the transaction's dirty pages: every lock released, every committed
+  /// page versioned in the directory, the committing node's surviving copy
+  /// current, and — where the directory names the committing node as owner —
+  /// that GLT/directory entry ownership agrees with the buffer.
+  void audit_commit_state(const node::Txn& txn,
+                          const std::vector<PageId>& dirty,
+                          obs::Auditor& audit, sim::SimTime now);
 
   LockTable& table() { return table_; }
   CoherencyDirectory& directory() { return dir_; }

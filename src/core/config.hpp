@@ -130,6 +130,9 @@ struct SystemConfig {
     sim::SimTime sample_every = 0.0;
     /// Keep the K slowest transactions with full phase breakdowns (0 = off).
     int slow_k = 0;
+    /// Online invariant auditors in the TM/lock/buffer hot paths (fail fast
+    /// with a trace cursor on the first violated invariant).
+    bool audit = false;
   } obs;
 
   /// Failure/recovery model (Section 1-2 motivate availability; GEM's

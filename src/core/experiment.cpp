@@ -103,6 +103,8 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       o.trace_run = std::atoi(a + 12);
     } else if (std::strncmp(a, "--trace-capacity=", 17) == 0) {
       o.trace_capacity = static_cast<std::size_t>(std::atoll(a + 17));
+    } else if (std::strcmp(a, "--audit") == 0) {
+      o.audit = true;
     }
   }
   return o;
@@ -118,6 +120,7 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
     auto& obs = cfgs[i].obs;
     obs.sample_every = opt.sample_every;
     obs.slow_k = opt.slow_k;
+    obs.audit = opt.audit;
     if (!opt.trace_file.empty() &&
         i == static_cast<std::size_t>(
                  opt.trace_run < 0 ? 0 : opt.trace_run) %
@@ -292,6 +295,7 @@ std::string write_bench_json(const std::string& bench,
   w.kv("seed", static_cast<std::uint64_t>(opt.seed));
   w.kv("sample_every", opt.sample_every);
   w.kv("slow_k", static_cast<std::int64_t>(opt.slow_k));
+  w.kv("audit", opt.audit);
   w.end_object();
   w.key("partitions");
   w.begin_array();
@@ -303,6 +307,7 @@ std::string write_bench_json(const std::string& bench,
   for (const auto& run : runs) {
     w.begin_object();
     w.kv("config_hash", obs::config_hash_hex(run.config));
+    w.kv("name", run.name);
     w.key("config");
     w.raw(obs::config_json(run.config));
     w.key("metrics");

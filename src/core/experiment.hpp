@@ -38,6 +38,7 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///   --trace=F          Chrome trace-event JSON of one sweep point
 ///   --trace-run=I      which sweep point gets traced (default 0)
 ///   --trace-capacity=N trace ring-buffer capacity [events]
+///   --audit            online invariant auditors (fail fast on violation)
 struct BenchOptions {
   double warmup = 5.0;
   double measure = 20.0;
@@ -53,6 +54,7 @@ struct BenchOptions {
   std::string trace_file;
   int trace_run = 0;
   std::size_t trace_capacity = std::size_t{1} << 18;
+  bool audit = false;
 };
 BenchOptions parse_bench_args(int argc, char** argv);
 
@@ -71,6 +73,9 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
 struct BenchRun {
   SystemConfig config;
   RunResult result;
+  /// Distinguishes runs that share one config (e.g. the kernel
+  /// micro-benchmarks); "" for ordinary sweep points.
+  std::string name;
   std::vector<std::pair<std::string, double>> extra;
 };
 

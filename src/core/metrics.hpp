@@ -11,6 +11,10 @@
 
 namespace gemsd {
 
+namespace obs {
+class Auditor;
+}  // namespace obs
+
 /// Run-wide statistics, updated by every component; reset at warm-up end.
 /// Device utilizations live with the devices (Resources); this class holds
 /// the transaction- and protocol-level counters.
@@ -66,6 +70,9 @@ class Metrics {
 #endif
   /// Top-K slowest-transaction log owned by System (capacity 0 = off).
   obs::SlowTxnLog* slow = nullptr;
+  /// Online invariant auditor owned by System (--audit; null = off). Checks
+  /// are pure observation — metrics stay bit-identical either way.
+  obs::Auditor* audit = nullptr;
 
   double hit_ratio(std::size_t partition) const {
     const double h = static_cast<double>(hits[partition].value());

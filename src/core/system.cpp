@@ -31,6 +31,25 @@ System::System(const SystemConfig& cfg, Workload wl)
   }
   comm_->attach_nodes(cpu_ptrs);
 
+  // Observability: the recorder and slow-transaction log are owned here and
+  // reached by components via Metrics (null pointers when disabled — every
+  // record site is guarded, and with GEMSD_TRACING_ENABLED=0 compiled away).
+  // Installed BEFORE the protocol so its constructor can wire the lock
+  // table's trace hooks.
+  if (cfg_.obs.trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>(cfg_.obs.trace_capacity);
+    metrics_.trace = trace_.get();
+    comm_->set_trace(trace_.get());
+  }
+  if (cfg_.obs.slow_k > 0) {
+    slow_log_.set_capacity(static_cast<std::size_t>(cfg_.obs.slow_k));
+    metrics_.slow = &slow_log_;
+  }
+  if (cfg_.obs.audit) {
+    audit_ = std::make_unique<obs::Auditor>(trace_.get());
+    metrics_.audit = audit_.get();
+  }
+
   cc::Protocol::Env env;
   env.sched = &sched_;
   env.cfg = &cfg_;
@@ -70,19 +89,6 @@ System::System(const SystemConfig& cfg, Workload wl)
         *logs_[static_cast<std::size_t>(n)], *protocol_, metrics_));
   }
   node_up_.assign(static_cast<std::size_t>(cfg_.nodes), true);
-
-  // Observability: the recorder and slow-transaction log are owned here and
-  // reached by components via Metrics (null pointers when disabled — every
-  // record site is guarded, and with GEMSD_TRACING_ENABLED=0 compiled away).
-  if (cfg_.obs.trace) {
-    trace_ = std::make_unique<obs::TraceRecorder>(cfg_.obs.trace_capacity);
-    metrics_.trace = trace_.get();
-    comm_->set_trace(trace_.get());
-  }
-  if (cfg_.obs.slow_k > 0) {
-    slow_log_.set_capacity(static_cast<std::size_t>(cfg_.obs.slow_k));
-    metrics_.slow = &slow_log_;
-  }
 }
 
 System::~System() = default;

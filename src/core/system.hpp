@@ -10,6 +10,7 @@
 #include "net/comm.hpp"
 #include "net/network.hpp"
 #include "node/buffer_manager.hpp"
+#include "obs/audit.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "node/cpu.hpp"
@@ -66,6 +67,7 @@ class System {
   obs::TraceRecorder* trace() { return trace_.get(); }
   const std::vector<obs::Sample>& samples() const { return samples_; }
   const obs::SlowTxnLog& slow_log() const { return slow_log_; }
+  obs::Auditor* auditor() { return audit_.get(); }
 
   /// Inject one transaction directly (tests).
   void submit(NodeId node, workload::TxnSpec spec) {
@@ -106,6 +108,7 @@ class System {
   Workload wl_;
   std::vector<bool> node_up_;
   std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::Auditor> audit_;
   obs::SlowTxnLog slow_log_;
   std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;

@@ -54,38 +54,42 @@ void BufferManager::count_miss(PageId p, bool invalidation) {
 }
 
 sim::Task<void> BufferManager::device_read(Txn* txn, PageId p) {
+  // The transaction phases partition the response time: the CPU queueing
+  // delay for initiating the I/O goes to t_cpu_wait, the rest of this
+  // window (initiation burst + device service) to t_io.
   const sim::SimTime t0 = sched_.now();
+  double cpu_wait = 0.0;
   if (storage_.is_gem(p.partition)) {
     // Synchronous GEM I/O: short initiation burst, processor held across the
     // device wait (close coupling's defining cost property).
-    const double w = co_await cpu_.acquire();
+    cpu_wait = co_await cpu_.acquire();
     co_await cpu_.busy(cfg_.gem.io_instr);
     co_await storage_.read(p);
     cpu_.release();
-    if (txn) txn->t_cpu_wait += w;
   } else if (storage_.has_gem_cache(p.partition)) {
     // Probe the GEM-resident global cache synchronously; fall back to the
     // disks on a miss and stage the page into the cache in the background.
-    const double w = co_await cpu_.acquire();
+    cpu_wait = co_await cpu_.acquire();
     co_await cpu_.busy(cfg_.gem.io_instr);
     const bool hit = co_await storage_.gem_cache_probe(p);
     cpu_.release();
-    if (txn) txn->t_cpu_wait += w;
     if (!hit) {
-      const double w2 = co_await cpu_.consume(cfg_.disk.io_instr);
+      cpu_wait += co_await cpu_.consume(cfg_.disk.io_instr);
       co_await storage_.disk_read(p);
-      if (txn) txn->t_cpu_wait += w2;
       sched_.spawn(stage_into_gem_cache(p, /*dirty=*/false));
     }
   } else {
-    const double w = co_await cpu_.consume(cfg_.disk.io_instr);
+    cpu_wait = co_await cpu_.consume(cfg_.disk.io_instr);
     co_await storage_.read(p);
-    if (txn) txn->t_cpu_wait += w;
   }
-  if (txn) txn->t_io += sched_.now() - t0;
+  if (txn) {
+    txn->t_cpu_wait += cpu_wait;
+    txn->t_io += sched_.now() - t0 - cpu_wait;
+  }
   if (metrics_.trace) {
     metrics_.trace->span(obs::TraceName::kIoRead, node_, txn ? txn->id : 0, t0,
-                         sched_.now(), static_cast<double>(p.page));
+                         sched_.now(), static_cast<double>(p.page),
+                         static_cast<std::int32_t>(p.partition));
   }
 }
 
@@ -97,30 +101,33 @@ sim::Task<void> BufferManager::stage_into_gem_cache(PageId p, bool dirty) {
 }
 
 sim::Task<void> BufferManager::device_write(Txn* txn, PageId p) {
+  // Same split as device_read: CPU queueing to t_cpu_wait, the rest to t_io.
   const sim::SimTime t0 = sched_.now();
+  double cpu_wait = 0.0;
   if (storage_.is_gem(p.partition)) {
-    const double w = co_await cpu_.acquire();
+    cpu_wait = co_await cpu_.acquire();
     co_await cpu_.busy(cfg_.gem.io_instr);
     co_await storage_.write(p);
     cpu_.release();
-    if (txn) txn->t_cpu_wait += w;
   } else if (storage_.has_gem_cache(p.partition)) {
     // GEM is non-volatile: the write is durable once absorbed by the cache
     // (fast write / write buffer usage form); destage happens asynchronously.
-    const double w = co_await cpu_.acquire();
+    cpu_wait = co_await cpu_.acquire();
     co_await cpu_.busy(cfg_.gem.io_instr);
     co_await storage_.gem_cache_insert(p, /*dirty=*/true);
     cpu_.release();
-    if (txn) txn->t_cpu_wait += w;
   } else {
-    const double w = co_await cpu_.consume(cfg_.disk.io_instr);
+    cpu_wait = co_await cpu_.consume(cfg_.disk.io_instr);
     co_await storage_.write(p);
-    if (txn) txn->t_cpu_wait += w;
   }
-  if (txn) txn->t_io += sched_.now() - t0;
+  if (txn) {
+    txn->t_cpu_wait += cpu_wait;
+    txn->t_io += sched_.now() - t0 - cpu_wait;
+  }
   if (metrics_.trace) {
     metrics_.trace->span(obs::TraceName::kIoWrite, node_, txn ? txn->id : 0,
-                         t0, sched_.now(), static_cast<double>(p.page));
+                         t0, sched_.now(), static_cast<double>(p.page),
+                         static_cast<std::int32_t>(p.partition));
   }
 }
 
@@ -213,19 +220,22 @@ sim::Task<void> BufferManager::force_write(Txn* txn, PageId p) {
 }
 
 sim::Task<void> BufferManager::write_log(Txn* txn) {
+  // Same split as device_read: CPU queueing to t_cpu_wait, the rest to t_io.
   const sim::SimTime t0 = sched_.now();
+  double cpu_wait = 0.0;
   if (storage_.log_on_gem()) {
-    const double w = co_await cpu_.acquire();
+    cpu_wait = co_await cpu_.acquire();
     co_await cpu_.busy(cfg_.gem.io_instr);
     co_await storage_.log_write(node_);
     cpu_.release();
-    if (txn) txn->t_cpu_wait += w;
   } else {
-    const double w = co_await cpu_.consume(cfg_.disk.io_instr);
+    cpu_wait = co_await cpu_.consume(cfg_.disk.io_instr);
     co_await storage_.log_write(node_);
-    if (txn) txn->t_cpu_wait += w;
   }
-  if (txn) txn->t_io += sched_.now() - t0;
+  if (txn) {
+    txn->t_cpu_wait += cpu_wait;
+    txn->t_io += sched_.now() - t0 - cpu_wait;
+  }
   if (metrics_.trace) {
     metrics_.trace->span(obs::TraceName::kIoLog, node_, txn ? txn->id : 0, t0,
                          sched_.now());

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/audit.hpp"
+
 namespace gemsd::node {
 
 namespace {
@@ -97,6 +99,16 @@ sim::Task<bool> TransactionManager::execute(Txn& txn) {
       // Coherency invariant: under the lock, the provisioned copy must be
       // the current version.
       const auto have = buf_.cached_seqno(page);
+      if (metrics_.audit) {
+        metrics_.audit->check(
+            !have || *have == cc_.directory().seqno(page),
+            "lock-buffer-coherency", sched_.now(), txn.id, node_,
+            "page %lld/%d provisioned under the lock at seqno %llu but the "
+            "directory says %llu",
+            static_cast<long long>(page.page), page.partition,
+            static_cast<unsigned long long>(have ? *have : 0),
+            static_cast<unsigned long long>(cc_.directory().seqno(page)));
+      }
       if (have && *have != cc_.directory().seqno(page)) {
         metrics_.coherency_violations.inc();
 #ifdef GEMSD_DEBUG_COHERENCY
@@ -139,10 +151,26 @@ sim::Task<bool> TransactionManager::execute(Txn& txn) {
   }
 
   // --- commit phase 2: release locks / propagate ownership ---
+  // --audit: commit_release clears txn.dirty, so the pre-commit lock check
+  // and the post-commit directory check both work from a snapshot.
+  std::vector<PageId> audit_dirty;
+  if (metrics_.audit) {
+    audit_dirty = txn.dirty;
+    for (PageId p : audit_dirty) {
+      metrics_.audit->check(
+          cc_.table().holds(p, txn.id, LockMode::Write), "dirty-write-lock",
+          sched_.now(), txn.id, node_,
+          "page %lld/%d is dirty at commit but not write-locked",
+          static_cast<long long>(p.page), p.partition);
+    }
+  }
   const sim::SimTime cc0 = sched_.now();
   co_await cc_.commit_release(txn);
   txn.t_cc += sched_.now() - cc0;
   txn.dirty_unlocked.clear();
+  if (metrics_.audit) {
+    cc_.audit_commit_state(txn, audit_dirty, *metrics_.audit, sched_.now());
+  }
   co_return true;
 }
 
@@ -199,6 +227,28 @@ sim::Task<void> TransactionManager::run(Txn txn) {
   metrics_.breakdown_io.add(txn.t_io);
   metrics_.breakdown_cc.add(txn.t_cc);
   metrics_.breakdown_queue.add(txn.t_queue);
+
+  if (metrics_.audit) {
+    auto* au = metrics_.audit;
+    const sim::SimTime now = sched_.now();
+    au->check(txn.t_cpu >= 0 && txn.t_cpu_wait >= 0 && txn.t_io >= 0 &&
+                  txn.t_cc >= 0 && txn.t_queue >= 0,
+              "phase-nonneg", now, txn.id, node_,
+              "negative phase: cpu=%g cpu_wait=%g io=%g cc=%g queue=%g",
+              txn.t_cpu, txn.t_cpu_wait, txn.t_io, txn.t_cc, txn.t_queue);
+    // The phases partition the response time minus restart back-offs and
+    // time lost to aborted attempts; their sum can never exceed it.
+    const double phase_sum =
+        txn.t_cpu + txn.t_cpu_wait + txn.t_io + txn.t_cc + txn.t_queue;
+    au->check(phase_sum <= rt * (1.0 + 1e-9) + 1e-12, "phase-sum", now,
+              txn.id, node_,
+              "phase sum %.9f s exceeds response time %.9f s", phase_sum, rt);
+    au->check(buf_.frames_in_use() <=
+                  static_cast<std::size_t>(cfg_.buffer_pages),
+              "buffer-frames", now, txn.id, node_,
+              "%zu frames in use with buffer_pages=%d", buf_.frames_in_use(),
+              cfg_.buffer_pages);
+  }
 
   if (metrics_.trace) {
     auto* tr = metrics_.trace;

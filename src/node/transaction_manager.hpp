@@ -64,7 +64,9 @@ class TransactionManager {
   cc::Protocol& cc_;
   Metrics& metrics_;
   sim::Resource mpl_;
-  std::uint64_t next_id_ = 0;
+  /// Starts at 1: transaction id 0 is reserved for node background work in
+  /// the trace (write-backs, messages), so every txn-scoped event has id != 0.
+  std::uint64_t next_id_ = 1;
   std::uint64_t submitted_ = 0;
   std::int64_t appends_ = 0;
   int active_ = 0;

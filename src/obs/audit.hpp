@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::obs {
+
+/// One failed invariant check, with enough context to find the spot in a
+/// trace: simulated time, transaction, node, and the formatted detail.
+struct AuditViolation {
+  std::string check;
+  std::string what;
+  sim::SimTime t = 0.0;
+  std::uint64_t txn = 0;
+  int node = -1;
+};
+
+/// Online invariant auditor (--audit): lightweight checks registered in the
+/// transaction-manager / lock / buffer hot paths. A passing check is one
+/// branch and a counter bump; a failing check prints the violation plus a
+/// cursor over the trace ring's most recent events and aborts the process
+/// (fail-fast, the default) — a run that would produce silently wrong tables
+/// dies at the first inconsistent state instead. Tests flip fail-fast off
+/// and read `violations()`.
+///
+/// Auditing is pure observation: checks read simulation state but never
+/// advance simulated time, so metrics are bit-identical with audits off.
+class Auditor {
+ public:
+  explicit Auditor(const TraceRecorder* trace = nullptr) : trace_(trace) {}
+
+  void set_fail_fast(bool v) { fail_fast_ = v; }
+  bool fail_fast() const { return fail_fast_; }
+
+  std::uint64_t checks() const { return checks_; }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  void clear() {
+    checks_ = 0;
+    violations_.clear();
+  }
+
+  /// Evaluate one invariant. `ok` true: count and return. `ok` false: record
+  /// an AuditViolation (the printf-style detail is only formatted on
+  /// failure), dump it with the trace cursor to stderr, and abort unless
+  /// fail-fast is off.
+  void check(bool ok, const char* name, sim::SimTime t, std::uint64_t txn,
+             int node, const char* fmt, ...)
+      __attribute__((format(printf, 7, 8)));
+
+ private:
+  void report(const AuditViolation& v) const;
+
+  const TraceRecorder* trace_;
+  bool fail_fast_ = true;
+  std::uint64_t checks_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace gemsd::obs

@@ -111,6 +111,7 @@ std::string config_json(const SystemConfig& cfg) {
   w.kv("trace_capacity", static_cast<std::uint64_t>(cfg.obs.trace_capacity));
   w.kv("sample_every", cfg.obs.sample_every);
   w.kv("slow_k", static_cast<std::int64_t>(cfg.obs.slow_k));
+  w.kv("audit", cfg.obs.audit);
   w.end_object();
 
   w.end_object();

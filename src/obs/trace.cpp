@@ -25,6 +25,8 @@ const char* to_string(TraceName n) {
     case TraceName::kMsgRecv: return "msg";
     case TraceName::kRestart: return "restart";
     case TraceName::kDeadlock: return "deadlock";
+    case TraceName::kWaitEdge: return "wait.edge";
+    case TraceName::kLockGrant: return "lock.grant";
     case TraceName::kCommit: return "commit";
     case TraceName::kPhaseCpu: return "phase.cpu";
     case TraceName::kPhaseCpuWait: return "phase.cpu_wait";
@@ -57,6 +59,8 @@ const char* category(TraceName n) {
     case TraceName::kLockWait:
     case TraceName::kPageRequest:
     case TraceName::kDeadlock:
+    case TraceName::kWaitEdge:
+    case TraceName::kLockGrant:
       return "cc";
     case TraceName::kIoRead:
     case TraceName::kIoWrite:
@@ -77,6 +81,13 @@ constexpr std::uint64_t kTxnSeqMask = (std::uint64_t{1} << 40) - 1;
 bool txn_scoped(const TraceEvent& e) {
   return e.id != 0 && e.name != TraceName::kMsgSend &&
          e.name != TraceName::kMsgRecv;
+}
+
+/// Events whose `value` is a page number and `aux` the page's partition.
+bool page_scoped(TraceName n) {
+  return n == TraceName::kLockWait || n == TraceName::kPageRequest ||
+         n == TraceName::kIoRead || n == TraceName::kIoWrite ||
+         n == TraceName::kDeadlock || n == TraceName::kLockGrant;
 }
 
 /// Chrome "tid": per-transaction lane inside the node's process (the txn id
@@ -223,6 +234,11 @@ std::string chrome_trace_json(
           w.value(static_cast<std::int64_t>(pt.restarts));
           w.key("type");
           w.value(e.value);
+        } else if (page_scoped(e.name)) {
+          w.key("v");
+          w.value(e.value);
+          w.key("p");
+          w.value(static_cast<std::int64_t>(e.aux));
         } else if (e.value != 0.0) {
           w.key("v");
           w.value(e.value);
@@ -236,6 +252,26 @@ std::string chrome_trace_json(
         w.kv("name", to_string(e.name));
         w.kv("cat", category(e.name));
         emit_common(w, "i", e, pid);
+        // Payload args so instants round-trip through the analyzer's trace
+        // parser (wait.edge carries the blocked-on txn in v, deadlock the
+        // victim's contended page in v/p).
+        if (e.id != 0 || e.value != 0.0 || page_scoped(e.name)) {
+          w.key("args");
+          w.begin_object();
+          if (e.id != 0) {
+            w.key("id");
+            w.value(e.id);
+          }
+          if (e.value != 0.0 || page_scoped(e.name)) {
+            w.key("v");
+            w.value(e.value);
+          }
+          if (page_scoped(e.name)) {
+            w.key("p");
+            w.value(static_cast<std::int64_t>(e.aux));
+          }
+          w.end_object();
+        }
         w.kv("s", "t");
         w.end_object();
         break;

@@ -36,6 +36,10 @@ enum class TraceName : std::uint8_t {
   kMsgRecv,      ///< receive-side message processing (id = flow id)
   kRestart,      ///< deadlock victim restarts (instant)
   kDeadlock,     ///< deadlock detected, this txn is the victim (instant)
+  kWaitEdge,     ///< wait-for edge: id waits for txn `value` (instant)
+  kLockGrant,    ///< waiting lock request granted (instant, value = page);
+                 ///< emitted at the LOGICAL grant — the kLockWait span is
+                 ///< only recorded once the (possibly remote) waiter resumes
   kCommit,       ///< commit point (instant)
   // per-transaction phase totals (merged into the txn span's args by the
   // exporter; values are the exact seconds added to Metrics::breakdown_*)
@@ -82,7 +86,9 @@ struct TraceEvent {
   TraceName name = TraceName::kTxn;
   TraceKind kind = TraceKind::Span;
   std::int16_t node = -1;  ///< -1 = cluster-wide
-  std::uint32_t pad = 0;
+  /// Partition id for page-scoped events (the page number rides in `value`;
+  /// page numbers alone are ambiguous — every partition has its own space).
+  std::int32_t aux = 0;
 };
 static_assert(std::is_trivially_copyable_v<TraceEvent>);
 static_assert(sizeof(TraceEvent) == 40);
@@ -113,12 +119,12 @@ class TraceRecorder {
   }
 
   void span(TraceName n, std::int16_t node, std::uint64_t id, sim::SimTime t0,
-            sim::SimTime t1, double value = 0.0) {
-    record(TraceEvent{t0, t1 - t0, value, id, n, TraceKind::Span, node, 0});
+            sim::SimTime t1, double value = 0.0, std::int32_t aux = 0) {
+    record(TraceEvent{t0, t1 - t0, value, id, n, TraceKind::Span, node, aux});
   }
   void instant(TraceName n, std::int16_t node, std::uint64_t id, sim::SimTime t,
-               double value = 0.0) {
-    record(TraceEvent{t, 0.0, value, id, n, TraceKind::Instant, node, 0});
+               double value = 0.0, std::int32_t aux = 0) {
+    record(TraceEvent{t, 0.0, value, id, n, TraceKind::Instant, node, aux});
   }
   void counter(TraceName n, std::int16_t node, sim::SimTime t, double value) {
     record(TraceEvent{t, 0.0, value, 0, n, TraceKind::Counter, node, 0});

@@ -1,0 +1,176 @@
+// Online invariant auditors (--audit, src/obs/audit.*): they run clean on
+// every tier-1 coupling/update combination, they perturb nothing (metrics
+// are identical with audits on and off), and a violated invariant is
+// recorded with its trace cursor context instead of passing silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "obs/audit.hpp"
+#include "sim/random.hpp"
+#include "workload/workload.hpp"
+
+namespace gemsd {
+namespace {
+
+using workload::PageRef;
+using workload::TxnSpec;
+
+SystemConfig quick_config(Coupling c, UpdateStrategy u) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 2;
+  cfg.coupling = c;
+  cfg.update = u;
+  cfg.routing = Routing::Random;
+  cfg.warmup = 1.0;
+  cfg.measure = 3.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// ------------------------------------------------------------- clean runs
+
+using Combo = std::tuple<Coupling, UpdateStrategy>;
+
+class AuditClean : public ::testing::TestWithParam<Combo> {};
+
+// The auditor is fail-fast by default: a violated invariant would abort the
+// process, so merely completing the run is the assertion.
+TEST_P(AuditClean, DebitCreditRunCompletesWithAuditsOn) {
+  const auto [c, u] = GetParam();
+  SystemConfig cfg = quick_config(c, u);
+  cfg.obs.audit = true;
+  const RunResult r = run_debit_credit(cfg);
+  EXPECT_GT(r.commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Couplings, AuditClean,
+    ::testing::Values(  // the lock engine mandates FORCE
+        Combo{Coupling::GemLocking, UpdateStrategy::NoForce},
+        Combo{Coupling::GemLocking, UpdateStrategy::Force},
+        Combo{Coupling::PrimaryCopy, UpdateStrategy::NoForce},
+        Combo{Coupling::PrimaryCopy, UpdateStrategy::Force},
+        Combo{Coupling::LockEngine, UpdateStrategy::Force}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      std::string s = to_string(std::get<0>(info.param));
+      s += "_";
+      s += to_string(std::get<1>(info.param));
+      return s;
+    });
+
+// -------------------------------------------------------- zero perturbation
+
+TEST(Audit, MetricsAreIdenticalWithAuditsOnAndOff) {
+  SystemConfig off = quick_config(Coupling::GemLocking, UpdateStrategy::NoForce);
+  SystemConfig on = off;
+  on.obs.audit = true;
+  const RunResult a = run_debit_credit(off);
+  const RunResult b = run_debit_credit(on);
+  // Bit-identical, not merely close: auditors read simulation state but must
+  // never advance simulated time or consume randomness.
+  EXPECT_EQ(a.resp_ms, b.resp_ms);
+  EXPECT_EQ(a.resp_ci_ms, b.resp_ci_ms);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_EQ(a.deadlocks, b.deadlocks);
+  EXPECT_EQ(a.brk_cpu_ms, b.brk_cpu_ms);
+  EXPECT_EQ(a.brk_cpu_wait_ms, b.brk_cpu_wait_ms);
+  EXPECT_EQ(a.brk_io_ms, b.brk_io_ms);
+  EXPECT_EQ(a.brk_cc_ms, b.brk_cc_ms);
+  EXPECT_EQ(a.brk_queue_ms, b.brk_queue_ms);
+}
+
+// ------------------------------------------------- checks actually executed
+
+class ModGla : public workload::GlaMap {
+ public:
+  explicit ModGla(int nodes) : nodes_(nodes) {}
+  NodeId gla(PageId p) const override {
+    return static_cast<NodeId>(p.page % nodes_);
+  }
+
+ private:
+  int nodes_;
+};
+
+struct NullGen : workload::WorkloadGenerator {
+  TxnSpec next(sim::Rng&) override { return {}; }
+  int num_types() const override { return 1; }
+};
+
+TEST(Audit, HostileRunExecutesManyChecksAndFindsNothing) {
+  SystemConfig cfg;
+  cfg.nodes = 3;
+  cfg.coupling = Coupling::PrimaryCopy;
+  cfg.update = UpdateStrategy::NoForce;
+  cfg.mpl = 100;
+  cfg.partitions.resize(1);
+  auto& pc = cfg.partitions[0];
+  pc.name = "T";
+  pc.pages_per_unit = 64;
+  pc.locked = true;
+  pc.disks_per_unit = 8;
+  cfg.obs.audit = true;
+
+  System::Workload wl;
+  wl.gen = std::make_unique<NullGen>();
+  wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
+  wl.gla = std::make_unique<ModGla>(cfg.nodes);
+  System sys(cfg, std::move(wl));
+  ASSERT_NE(sys.auditor(), nullptr);
+  sys.auditor()->set_fail_fast(false);
+
+  sim::Rng rng(999);
+  for (int i = 0; i < 300; ++i) {
+    TxnSpec t;
+    const int len = static_cast<int>(rng.uniform_int(1, 5));
+    for (int k = 0; k < len; ++k) {
+      t.refs.push_back(PageRef{PageId{0, rng.uniform_int(0, 63)},
+                               rng.bernoulli(0.4)});
+    }
+    sys.submit(static_cast<NodeId>(rng.uniform_int(0, cfg.nodes - 1)), t);
+  }
+  sys.scheduler().run_all();
+
+  EXPECT_GT(sys.auditor()->checks(), 0u);
+  EXPECT_TRUE(sys.auditor()->violations().empty());
+}
+
+TEST(Audit, AuditorDisabledByDefault) {
+  SystemConfig cfg = quick_config(Coupling::GemLocking, UpdateStrategy::NoForce);
+  System::Workload wl;
+  wl.gen = std::make_unique<NullGen>();
+  wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
+  System sys(cfg, std::move(wl));
+  EXPECT_EQ(sys.auditor(), nullptr);
+}
+
+// --------------------------------------------------------- violation path
+
+TEST(Audit, ViolationIsRecordedWithContext) {
+  obs::Auditor au;
+  au.set_fail_fast(false);
+  au.check(true, "phase-sum", 1.0, 7, 0, "fine");
+  au.check(false, "phase-sum", 2.5, 42, 1, "sum %g exceeds rt %g", 3.0, 2.0);
+  EXPECT_EQ(au.checks(), 2u);
+  ASSERT_EQ(au.violations().size(), 1u);
+  const obs::AuditViolation& v = au.violations()[0];
+  EXPECT_EQ(v.check, "phase-sum");
+  EXPECT_EQ(v.what, "sum 3 exceeds rt 2");
+  EXPECT_EQ(v.t, 2.5);
+  EXPECT_EQ(v.txn, 42u);
+  EXPECT_EQ(v.node, 1);
+  au.clear();
+  EXPECT_EQ(au.checks(), 0u);
+  EXPECT_TRUE(au.violations().empty());
+}
+
+}  // namespace
+}  // namespace gemsd

@@ -218,7 +218,7 @@ TEST(ChromeTrace, GoldenSnippet) {
       "\"args\":{\"id\":3,\"cpu_ms\":10,\"cpu_wait_ms\":0,\"io_ms\":30,"
       "\"cc_ms\":0,\"mpl_wait_ms\":0,\"restarts\":0,\"type\":2}},"
       "{\"name\":\"commit\",\"cat\":\"txn\",\"ph\":\"i\",\"pid\":1,"
-      "\"tid\":4,\"ts\":1050000,\"s\":\"t\"},"
+      "\"tid\":4,\"ts\":1050000,\"args\":{\"id\":3},\"s\":\"t\"},"
       "{\"name\":\"throughput\",\"cat\":\"sampler\",\"ph\":\"C\",\"pid\":0,"
       "\"tid\":0,\"ts\":1500000,\"args\":{\"value\":123.5}},"
       "{\"name\":\"msg\",\"cat\":\"net\",\"ph\":\"s\",\"pid\":1,\"tid\":0,"

@@ -1,0 +1,173 @@
+// gemsd_analyze — interpret the observability layer's outputs:
+//
+//   gemsd_analyze <trace.json> [--results=FILE] [--run=I] [--top=K]
+//                 [--tolerance=T]
+//       Contention attribution from a "gemsd.trace.v1" Chrome trace: per-node
+//       phase buckets, hottest pages, lock-conflict pairs, and a wait-for
+//       graph replay with cycle detection. With --results, the attribution is
+//       cross-checked against run I of a "gemsd.results.v1" document (phase
+//       buckets must reconcile with breakdown_ms within the tolerance, the
+//       replayed cycle count with the deadlock counter); a mismatch on a
+//       complete trace (no ring drops) exits 1.
+//
+//   gemsd_analyze --compare <baseline.json> <candidate.json> [--tolerance=T]
+//       Diff two results documents run by run (matched on config hash +
+//       label + name). A throughput or response-time regression beyond the
+//       batch-means CIs and the relative tolerance band exits 1 — the CI
+//       bench-regression gate.
+//
+// Exit codes: 0 clean, 1 regression / failed cross-check, 2 bad input.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+bool load_json(const std::string& path, gemsd::obs::JsonValue& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  if (!gemsd::obs::json_parse(ss.str(), out, error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: gemsd_analyze <trace.json> [--results=FILE] [--run=I]\n"
+      "                     [--top=K] [--tolerance=T]\n"
+      "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
+      "                     [--tolerance=T]\n");
+  return 2;
+}
+
+int run_compare(const std::string& base_path, const std::string& cand_path,
+                double tolerance) {
+  gemsd::obs::JsonValue base, cand;
+  if (!load_json(base_path, base) || !load_json(cand_path, cand)) return 2;
+  const gemsd::obs::CompareReport rep =
+      gemsd::obs::compare_results(base, cand, tolerance);
+  if (!rep.error.empty()) {
+    std::fprintf(stderr, "error: %s\n", rep.error.c_str());
+    return 2;
+  }
+  std::printf("baseline:  %s\ncandidate: %s\n", base_path.c_str(),
+              cand_path.c_str());
+  std::fputs(gemsd::obs::format_compare(rep, tolerance).c_str(), stdout);
+  return rep.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gemsd;
+
+  std::string trace_path, results_path;
+  std::string compare_base, compare_cand;
+  bool compare = false;
+  int run_index = 0;
+  int top_k = 10;
+  double tolerance = -1.0;  // mode-specific default
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--compare") == 0) {
+      compare = true;
+    } else if (std::strncmp(a, "--results=", 10) == 0) {
+      results_path = a + 10;
+    } else if (std::strncmp(a, "--run=", 6) == 0) {
+      run_index = std::atoi(a + 6);
+    } else if (std::strncmp(a, "--top=", 6) == 0) {
+      top_k = std::atoi(a + 6);
+    } else if (std::strncmp(a, "--tolerance=", 12) == 0) {
+      tolerance = std::atof(a + 12);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", a);
+      return usage();
+    } else if (compare && compare_base.empty()) {
+      compare_base = a;
+    } else if (compare && compare_cand.empty()) {
+      compare_cand = a;
+    } else if (!compare && trace_path.empty()) {
+      trace_path = a;
+    } else {
+      return usage();
+    }
+  }
+
+  if (compare) {
+    if (compare_base.empty() || compare_cand.empty()) return usage();
+    return run_compare(compare_base, compare_cand,
+                       tolerance < 0.0 ? 0.05 : tolerance);
+  }
+  if (trace_path.empty()) return usage();
+  if (tolerance < 0.0) tolerance = 0.01;
+
+  obs::JsonValue doc;
+  if (!load_json(trace_path, doc)) return 2;
+  std::vector<obs::TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::string error;
+  if (!obs::parse_chrome_trace(doc, events, dropped, error)) {
+    std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(), error.c_str());
+    return 2;
+  }
+
+  const obs::TraceAnalysis analysis = obs::analyze_trace(events, dropped);
+  std::fputs(obs::format_analysis(analysis, top_k).c_str(), stdout);
+
+  int rc = 0;
+  if (!results_path.empty()) {
+    obs::JsonValue results;
+    if (!load_json(results_path, results)) return 2;
+    const obs::JsonValue* runs = results.find("runs");
+    if (!runs || !runs->is_array() || runs->arr.empty()) {
+      std::fprintf(stderr, "error: %s: no runs\n", results_path.c_str());
+      return 2;
+    }
+    const auto idx = static_cast<std::size_t>(run_index < 0 ? 0 : run_index) %
+                     runs->arr.size();
+    const obs::JsonValue* metrics = runs->arr[idx].find("metrics");
+    if (!metrics) {
+      std::fprintf(stderr, "error: %s: run %zu has no metrics\n",
+                   results_path.c_str(), idx);
+      return 2;
+    }
+
+    const obs::Reconciliation rec =
+        obs::reconcile(analysis, *metrics, tolerance);
+    std::fputs(obs::format_reconciliation(rec).c_str(), stdout);
+
+    const auto deadlocks = static_cast<std::uint64_t>(
+        metrics->find("deadlocks") && metrics->find("deadlocks")->is_number()
+            ? metrics->find("deadlocks")->num
+            : 0.0);
+    std::printf("deadlock cross-check: %llu cycles replayed vs %llu counted "
+                "by the simulator\n",
+                static_cast<unsigned long long>(analysis.cycles),
+                static_cast<unsigned long long>(deadlocks));
+    if (dropped > 0) {
+      std::printf("note: %llu events dropped from the ring; cross-checks are "
+                  "advisory only\n",
+                  static_cast<unsigned long long>(dropped));
+    } else {
+      if (!rec.ok) rc = 1;
+      if (analysis.cycles != deadlocks) rc = 1;
+    }
+  }
+  return rc;
+}

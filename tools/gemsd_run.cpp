@@ -3,7 +3,7 @@
 //
 //   ./gemsd_run spec.ini [more-specs.ini ...] [--csv] [--full] [--jobs=N]
 //              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
-//              [--sample=S] [--slow-k=K]
+//              [--sample=S] [--slow-k=K] [--audit]
 //
 // Multiple specs are executed as one sweep on a worker pool (--jobs=N,
 // default hardware_concurrency); results print in command-line order.
@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
       obs_opt.sample_every = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--slow-k=", 9) == 0) {
       obs_opt.slow_k = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      obs_opt.audit = true;
     } else {
       spec_files.push_back(argv[i]);
     }
@@ -63,7 +65,7 @@ int main(int argc, char** argv) {
                  "usage: gemsd_run <spec.ini> [more-specs.ini ...] "
                  "[--csv] [--full] [--jobs=N] [--metrics-json=FILE] "
                  "[--trace=FILE] [--trace-run=I] [--sample=S] "
-                 "[--slow-k=K]\n");
+                 "[--slow-k=K] [--audit]\n");
     return 1;
   }
 
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
     SystemConfig::ObsConfig obs;
     obs.sample_every = obs_opt.sample_every;
     obs.slow_k = obs_opt.slow_k;
+    obs.audit = obs_opt.audit;
     if (!obs_opt.trace_file.empty() &&
         si == static_cast<std::size_t>(
                   obs_opt.trace_run < 0 ? 0 : obs_opt.trace_run) %

@@ -1,12 +1,17 @@
-// gemsd_validate — validate a JSON document against a JSON-Schema-subset
+// gemsd_validate — validate JSON documents against a JSON-Schema-subset
 // file (see src/obs/json.hpp for the supported keywords):
 //
-//   ./gemsd_validate <schema.json> <doc.json> [more-docs.json ...]
+//   ./gemsd_validate <schema.json> <doc.json|dir> [more ...]
 //
-// Exits 0 when every document parses and validates, 1 otherwise. Used by CI
-// to check the bench --metrics-json and --trace outputs against
-// schemas/results.schema.json and schemas/trace.schema.json.
+// Directory arguments expand to their *.json files (sorted, non-recursive).
+// Every document is checked — a failure does not stop the run — and a
+// summary line reports the total. Exits 0 when every document parses and
+// validates, 1 otherwise. Used by CI to check the bench --metrics-json and
+// --trace outputs against schemas/results.schema.json and
+// schemas/trace.schema.json.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -28,14 +33,32 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+/// A directory argument stands for its *.json files, in sorted order so the
+/// output (and any golden diff of it) is stable across filesystems.
+std::vector<std::string> expand(const std::string& arg) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(arg, ec)) return {arg};
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(arg, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "warning: no *.json files in %s\n", arg.c_str());
+  }
+  return files;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace gemsd;
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: gemsd_validate <schema.json> <doc.json> "
-                 "[more-docs.json ...]\n");
+                 "usage: gemsd_validate <schema.json> <doc.json|dir> "
+                 "[more ...]\n");
     return 1;
   }
 
@@ -47,28 +70,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  bool ok = true;
+  std::vector<std::string> docs;
   for (int i = 2; i < argc; ++i) {
+    for (std::string& f : expand(argv[i])) docs.push_back(std::move(f));
+  }
+
+  std::vector<std::string> failures;
+  for (const std::string& path : docs) {
     obs::JsonValue doc;
-    if (!read_file(argv[i], text)) {
-      ok = false;
+    if (!read_file(path, text)) {
+      failures.push_back(path);
       continue;
     }
     if (!obs::json_parse(text, doc, error)) {
-      std::fprintf(stderr, "error: %s: %s\n", argv[i], error.c_str());
-      ok = false;
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+      failures.push_back(path);
       continue;
     }
     std::vector<std::string> problems;
     if (obs::json_schema_validate(schema, doc, problems)) {
-      std::printf("%s: OK\n", argv[i]);
+      std::printf("%s: OK\n", path.c_str());
     } else {
-      ok = false;
-      std::printf("%s: INVALID\n", argv[i]);
+      failures.push_back(path);
+      std::printf("%s: INVALID\n", path.c_str());
       for (const std::string& p : problems) {
         std::printf("  %s\n", p.c_str());
       }
     }
   }
-  return ok ? 0 : 1;
+
+  std::printf("%zu/%zu documents valid\n", docs.size() - failures.size(),
+              docs.size());
+  for (const std::string& f : failures) {
+    std::printf("FAILED: %s\n", f.c_str());
+  }
+  return failures.empty() && !docs.empty() ? 0 : 1;
 }
