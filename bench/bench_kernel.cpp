@@ -141,16 +141,22 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   using namespace gemsd;
-  const BenchOptions opt = parse_bench_args(argc, argv);
 
-  // google-benchmark must only see its own flags (it aborts on unknown ones);
-  // parse_bench_args already ignored the --benchmark_* flags above.
+  // Split the command line: google-benchmark owns the --benchmark_* flags
+  // (it aborts on unknown ones), parse_bench_args owns the rest (and exits
+  // with usage on anything it doesn't know).
   std::vector<char*> bargv{argv[0]};
+  std::vector<char*> gargv{argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
       bargv.push_back(argv[i]);
+    } else {
+      gargv.push_back(argv[i]);
     }
   }
+  int gargc = static_cast<int>(gargv.size());
+  const BenchOptions opt = parse_bench_args(gargc, gargv.data());
+
   int bargc = static_cast<int>(bargv.size());
   benchmark::Initialize(&bargc, bargv.data());
 

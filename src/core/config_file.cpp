@@ -1,6 +1,9 @@
 #include "core/config_file.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -44,24 +47,290 @@ StorageKind parse_storage(const std::string& v, int line) {
   fail(line, "unknown storage kind '" + v + "'");
 }
 
+const char* storage_name(StorageKind k) {
+  switch (k) {
+    case StorageKind::Disk: return "disk";
+    case StorageKind::DiskVolatileCache: return "vcache";
+    case StorageKind::DiskNvCache: return "nvcache";
+    case StorageKind::DiskGemCache: return "gemcache";
+    case StorageKind::Gem: return "gem";
+  }
+  return "disk";
+}
+
+double parse_num(const std::string& v, int line) {
+  if (!v.empty()) {
+    char* end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (end && *end == '\0') return d;
+  }
+  fail(line, "expected a number, got '" + v + "'");
+}
+
+int parse_int(const std::string& v, int line) {
+  const double d = parse_num(v, line);
+  const int i = static_cast<int>(d);
+  if (d != static_cast<double>(i)) {
+    fail(line, "expected an integer, got '" + v + "'");
+  }
+  return i;
+}
+
+std::int64_t parse_i64(const std::string& v, int line) {
+  const double d = parse_num(v, line);
+  const auto i = static_cast<std::int64_t>(d);
+  if (d != static_cast<double>(i)) {
+    fail(line, "expected an integer, got '" + v + "'");
+  }
+  return i;
+}
+
+/// Shortest decimal form that strtod round-trips to the same double.
+/// Integral values print as plain integers ("100", not "1e+02").
+std::string fmt_num(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+/// Format a seconds value as microseconds such that the parser's `us * 1e-6`
+/// reproduces the original double exactly. Prefers the shortest (often
+/// integral) microsecond count over the exact but noisy `v * 1e6` digits.
+std::string fmt_us(double v) {
+  const double us = v * 1e6;
+  if (const std::string s = std::to_string(std::llround(us));
+      std::strtod(s.c_str(), nullptr) * 1e-6 == v) {
+    return s;
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, us);
+    if (std::strtod(buf, nullptr) * 1e-6 == v) break;
+  }
+  return buf;
+}
+
+std::string fmt_int(std::int64_t v) { return std::to_string(v); }
+std::string fmt_bool(bool v) { return v ? "true" : "false"; }
+
+/// The scalar [system] key table — one entry drives both the parser and the
+/// exporter, so the two can never drift apart.
+struct KeyDef {
+  const char* key;
+  void (*set)(SystemConfig&, const std::string&, int line);
+  std::string (*get)(const SystemConfig&);
+};
+
+const KeyDef kSystemKeys[] = {
+    {"nodes",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.nodes = parse_int(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_int(c.nodes); }},
+    {"tps",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.arrival_rate_per_node = parse_num(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_num(c.arrival_rate_per_node); }},
+    {"coupling",
+     [](SystemConfig& c, const std::string& v, int l) {
+       const std::string s = lower(v);
+       if (s == "gem") c.coupling = Coupling::GemLocking;
+       else if (s == "pcl") c.coupling = Coupling::PrimaryCopy;
+       else if (s == "engine") c.coupling = Coupling::LockEngine;
+       else fail(l, "unknown coupling '" + v + "'");
+     },
+     [](const SystemConfig& c) -> std::string {
+       switch (c.coupling) {
+         case Coupling::GemLocking: return "gem";
+         case Coupling::PrimaryCopy: return "pcl";
+         case Coupling::LockEngine: return "engine";
+       }
+       return "gem";
+     }},
+    {"update",
+     [](SystemConfig& c, const std::string& v, int l) {
+       const std::string s = lower(v);
+       if (s == "force") c.update = UpdateStrategy::Force;
+       else if (s == "noforce") c.update = UpdateStrategy::NoForce;
+       else fail(l, "unknown update strategy '" + v + "'");
+     },
+     [](const SystemConfig& c) -> std::string {
+       return c.update == UpdateStrategy::Force ? "force" : "noforce";
+     }},
+    {"routing",
+     [](SystemConfig& c, const std::string& v, int l) {
+       const std::string s = lower(v);
+       if (s == "affinity") c.routing = Routing::Affinity;
+       else if (s == "random") c.routing = Routing::Random;
+       else fail(l, "unknown routing '" + v + "'");
+     },
+     [](const SystemConfig& c) -> std::string {
+       return c.routing == Routing::Affinity ? "affinity" : "random";
+     }},
+    {"buffer",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.buffer_pages = parse_int(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_int(c.buffer_pages); }},
+    {"mpl",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.mpl = parse_int(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_int(c.mpl); }},
+    {"warmup",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.warmup = parse_num(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_num(c.warmup); }},
+    {"measure",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.measure = parse_num(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_num(c.measure); }},
+    {"seed",
+     [](SystemConfig& c, const std::string& v, int l) {
+       const std::int64_t s = parse_i64(v, l);
+       if (s < 0) fail(l, "seed must be non-negative");
+       c.seed = static_cast<std::uint64_t>(s);
+     },
+     [](const SystemConfig& c) {
+       return fmt_int(static_cast<std::int64_t>(c.seed));
+     }},
+    {"log",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.log_storage = parse_storage(v, l) == StorageKind::Gem
+                           ? StorageKind::Gem
+                           : StorageKind::Disk;
+     },
+     [](const SystemConfig& c) -> std::string {
+       return c.log_storage == StorageKind::Gem ? "gem" : "disk";
+     }},
+    {"log_disks",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.log_disks_per_node = parse_int(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_int(c.log_disks_per_node); }},
+    {"group_commit",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.log_group_commit = parse_bool(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_bool(c.log_group_commit); }},
+    {"pcl_read_opt",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.pcl_read_optimization = parse_bool(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_bool(c.pcl_read_optimization); }},
+    {"gem_read_auth",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.gem_read_authorizations = parse_bool(v, l);
+     },
+     [](const SystemConfig& c) {
+       return fmt_bool(c.gem_read_authorizations);
+     }},
+    {"transport",
+     [](SystemConfig& c, const std::string& v, int l) {
+       const std::string s = lower(v);
+       if (s == "network") c.comm.transport = MsgTransport::Network;
+       else if (s == "gem") c.comm.transport = MsgTransport::GemStore;
+       else fail(l, "unknown transport '" + v + "'");
+     },
+     [](const SystemConfig& c) -> std::string {
+       return c.comm.transport == MsgTransport::GemStore ? "gem" : "network";
+     }},
+    {"cpu_procs",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.cpu.processors = parse_int(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_int(c.cpu.processors); }},
+    {"gem_entry_us",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.gem.entry_access = parse_num(v, l) * 1e-6;
+     },
+     [](const SystemConfig& c) { return fmt_us(c.gem.entry_access); }},
+    {"msg_short_instr",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.comm.short_instr = parse_num(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_num(c.comm.short_instr); }},
+    {"msg_long_instr",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.comm.long_instr = parse_num(v, l);
+     },
+     [](const SystemConfig& c) { return fmt_num(c.comm.long_instr); }},
+    {"lock_engine_us",
+     [](SystemConfig& c, const std::string& v, int l) {
+       c.lock_engine_service = parse_num(v, l) * 1e-6;
+     },
+     [](const SystemConfig& c) {
+       return fmt_us(c.lock_engine_service);
+     }},
+};
+
+PartitionConfig* find_partition(SystemConfig& cfg, const std::string& name) {
+  for (auto& pc : cfg.partitions) {
+    if (pc.name == name) return &pc;
+  }
+  return nullptr;
+}
+
+/// Apply one raw key onto the config. Partition names are case-sensitive
+/// (they are data, not syntax); everything else is lower-cased by the
+/// caller.
+void apply_one(SystemConfig& cfg, const std::string& key,
+               const std::string& val, int line) {
+  const auto dot = key.find('.');
+  if (dot != std::string::npos) {
+    const std::string field = key.substr(0, dot);
+    const std::string pname = key.substr(dot + 1);
+    PartitionConfig* pc = find_partition(cfg, pname);
+    if (!pc) fail(line, "unknown partition '" + pname + "'");
+    if (field == "storage") {
+      pc->storage = parse_storage(val, line);
+    } else if (field == "cache_pages") {
+      pc->disk_cache_pages = parse_i64(val, line);
+      pc->gem_cache_pages = pc->disk_cache_pages;
+    } else if (field == "disk_cache_pages") {
+      pc->disk_cache_pages = parse_i64(val, line);
+    } else if (field == "gem_cache_pages") {
+      pc->gem_cache_pages = parse_i64(val, line);
+    } else {
+      fail(line, "unknown partition key '" + field + "'");
+    }
+    return;
+  }
+  for (const KeyDef& def : kSystemKeys) {
+    if (key == def.key) {
+      def.set(cfg, val, line);
+      return;
+    }
+  }
+  fail(line, "unknown [system] key '" + key + "'");
+}
+
+struct RawKey {
+  std::string key, val;
+  int line;
+};
+
 }  // namespace
 
-RunSpec parse_run_spec(std::istream& in) {
-  RunSpec spec;
-  // Workload defaults resolve at the end; partition overrides are applied
-  // after the base config is built.
-  struct Override {
-    std::string partition;
-    StorageKind storage;
-    std::int64_t cache_pages = 0;
-    bool has_cache_pages = false;
-  };
-  std::vector<Override> overrides;
+SpecDoc parse_spec_doc(std::istream& in) {
+  SpecDoc doc;
+  RunSpec proto;  // workload settings shared by every run
+  std::vector<RawKey> base;
+  std::vector<std::vector<RawKey>> run_keys;  // one per [run] section
 
   std::string section;
   std::string line_s;
   int line = 0;
-  // Raw key/value capture for [system]; applied onto the config below.
   while (std::getline(in, line_s)) {
     ++line;
     std::string s = trim(line_s);
@@ -69,138 +338,141 @@ RunSpec parse_run_spec(std::istream& in) {
     if (s.front() == '[') {
       if (s.back() != ']') fail(line, "unterminated section header");
       section = s.substr(1, s.size() - 2);
+      if (section == "run") run_keys.emplace_back();
       continue;
     }
     const auto eq = s.find('=');
     if (eq == std::string::npos) fail(line, "expected key = value");
-    const std::string key = lower(trim(s.substr(0, eq)));
+    const std::string key = trim(s.substr(0, eq));
     const std::string val = trim(s.substr(eq + 1));
+    // Lower-case the key, but never a partition name: in the flat
+    // `field.NAME` form only the field part is syntax.
+    const auto key_dot = key.find('.');
+    const std::string lkey =
+        key_dot == std::string::npos
+            ? lower(key)
+            : lower(key.substr(0, key_dot)) + key.substr(key_dot);
 
+    if (section == "scenario") {
+      if (lkey == "name") doc.scenario = val;
+      else if (lkey == "caption") doc.caption = val;
+      else fail(line, "unknown [scenario] key '" + key + "'");
+      continue;
+    }
     if (section == "workload") {
-      if (key == "kind") {
+      if (lkey == "kind") {
         const std::string k = lower(val);
         if (k == "debit_credit" || k == "debit-credit") {
-          spec.kind = RunSpec::Kind::DebitCredit;
+          proto.kind = RunSpec::Kind::DebitCredit;
         } else if (k == "trace") {
-          spec.kind = RunSpec::Kind::Trace;
+          proto.kind = RunSpec::Kind::Trace;
         } else {
           fail(line, "unknown workload kind '" + val + "'");
         }
-      } else if (key == "trace_file") {
-        spec.trace_file = val;
-      } else if (key == "trace_txns") {
-        spec.trace_txns = static_cast<std::size_t>(std::stoll(val));
+      } else if (lkey == "trace_file") {
+        proto.trace_file = val;
+      } else if (lkey == "trace_txns") {
+        proto.trace_txns = static_cast<std::size_t>(parse_i64(val, line));
       } else {
         fail(line, "unknown [workload] key '" + key + "'");
       }
       continue;
     }
     if (section.rfind("partition.", 0) == 0) {
+      // Section form translates to the flat per-partition keys; the
+      // partition name keeps its case.
       const std::string pname = section.substr(10);
-      if (key == "storage") {
-        overrides.push_back({pname, parse_storage(val, line), 0, false});
-      } else if (key == "cache_pages") {
-        if (overrides.empty() || overrides.back().partition != pname) {
-          fail(line, "cache_pages must follow a storage key");
-        }
-        overrides.back().cache_pages = std::stoll(val);
-        overrides.back().has_cache_pages = true;
-      } else {
+      if (lkey != "storage" && lkey != "cache_pages" &&
+          lkey != "disk_cache_pages" && lkey != "gem_cache_pages") {
         fail(line, "unknown [partition] key '" + key + "'");
       }
+      base.push_back({lkey + "." + pname, val, line});
+      continue;
+    }
+    if (section == "run") {
+      run_keys.back().push_back({lkey, val, line});
       continue;
     }
     if (section != "system" && !section.empty()) {
       fail(line, "unknown section [" + section + "]");
     }
-    auto& c = spec.cfg;
-    if (key == "nodes") c.nodes = std::stoi(val);
-    else if (key == "tps") c.arrival_rate_per_node = std::stod(val);
-    else if (key == "buffer") c.buffer_pages = std::stoi(val);
-    else if (key == "mpl") c.mpl = std::stoi(val);
-    else if (key == "warmup") c.warmup = std::stod(val);
-    else if (key == "measure") c.measure = std::stod(val);
-    else if (key == "seed") c.seed = static_cast<std::uint64_t>(std::stoll(val));
-    else if (key == "group_commit") c.log_group_commit = parse_bool(val, line);
-    else if (key == "pcl_read_opt") c.pcl_read_optimization = parse_bool(val, line);
-    else if (key == "gem_read_auth") c.gem_read_authorizations = parse_bool(val, line);
-    else if (key == "coupling") {
-      const std::string v = lower(val);
-      if (v == "gem") c.coupling = Coupling::GemLocking;
-      else if (v == "pcl") c.coupling = Coupling::PrimaryCopy;
-      else if (v == "engine") c.coupling = Coupling::LockEngine;
-      else fail(line, "unknown coupling '" + val + "'");
-    } else if (key == "update") {
-      const std::string v = lower(val);
-      if (v == "force") c.update = UpdateStrategy::Force;
-      else if (v == "noforce") c.update = UpdateStrategy::NoForce;
-      else fail(line, "unknown update strategy '" + val + "'");
-    } else if (key == "routing") {
-      const std::string v = lower(val);
-      if (v == "affinity") c.routing = Routing::Affinity;
-      else if (v == "random") c.routing = Routing::Random;
-      else fail(line, "unknown routing '" + val + "'");
-    } else if (key == "log") {
-      c.log_storage = parse_storage(val, line) == StorageKind::Gem
-                          ? StorageKind::Gem
-                          : StorageKind::Disk;
-    } else if (key == "transport") {
-      const std::string v = lower(val);
-      if (v == "network") c.comm.transport = MsgTransport::Network;
-      else if (v == "gem") c.comm.transport = MsgTransport::GemStore;
-      else fail(line, "unknown transport '" + val + "'");
-    } else {
-      fail(line, "unknown [system] key '" + key + "'");
-    }
+    base.push_back({lkey, val, line});
   }
 
-  // Build the base schema for the chosen workload, preserving the parsed
-  // system knobs, then apply partition overrides.
-  SystemConfig parsed = spec.cfg;
-  SystemConfig base = make_debit_credit_config();
-  base.nodes = parsed.nodes;
-  base.arrival_rate_per_node =
-      parsed.arrival_rate_per_node;
-  base.coupling = parsed.coupling;
-  base.update = parsed.update;
-  base.routing = parsed.routing;
-  base.mpl = parsed.mpl;
-  base.buffer_pages = parsed.buffer_pages;
-  base.log_storage = parsed.log_storage;
-  base.log_group_commit = parsed.log_group_commit;
-  base.pcl_read_optimization = parsed.pcl_read_optimization;
-  base.gem_read_authorizations = parsed.gem_read_authorizations;
-  base.comm.transport = parsed.comm.transport;
-  base.warmup = parsed.warmup;
-  base.measure = parsed.measure;
-  base.seed = parsed.seed;
-  spec.cfg = base;
-  // Trace runs rebuild partitions later (they depend on the trace); only
-  // debit-credit accepts per-partition overrides here.
-  for (const auto& ov : overrides) {
-    bool found = false;
-    for (auto& pc : spec.cfg.partitions) {
-      if (pc.name == ov.partition) {
-        pc.storage = ov.storage;
-        if (ov.has_cache_pages) {
-          pc.disk_cache_pages = ov.cache_pages;
-          pc.gem_cache_pages = ov.cache_pages;
+  // One run per [run] section; a file without any is a single run of the
+  // base sections alone.
+  if (run_keys.empty()) run_keys.emplace_back();
+  for (const auto& extra : run_keys) {
+    RunSpec spec = proto;
+    spec.cfg = make_debit_credit_config();
+    for (const std::vector<RawKey>* keys :
+         {static_cast<const std::vector<RawKey>*>(&base), &extra}) {
+      for (const RawKey& rk : *keys) {
+        // Trace runs rebuild their partitions from the trace later; their
+        // partition keys cannot be validated against the debit-credit
+        // schema, so application is deferred to apply_spec_keys.
+        if (spec.kind == RunSpec::Kind::Trace &&
+            rk.key.find('.') != std::string::npos) {
+          continue;
         }
-        found = true;
+        apply_one(spec.cfg, rk.key, rk.val, rk.line);
       }
     }
-    if (!found) {
-      throw std::runtime_error("run spec: unknown partition '" +
-                               ov.partition + "'");
-    }
+    for (const RawKey& rk : base) spec.keys.push_back({rk.key, rk.val});
+    for (const RawKey& rk : extra) spec.keys.push_back({rk.key, rk.val});
+    doc.runs.push_back(std::move(spec));
   }
-  return spec;
+  return doc;
+}
+
+SpecDoc parse_spec_doc_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open run spec: " + path);
+  return parse_spec_doc(f);
+}
+
+RunSpec parse_run_spec(std::istream& in) {
+  SpecDoc doc = parse_spec_doc(in);
+  if (doc.runs.size() != 1) {
+    throw std::runtime_error(
+        "run spec: expected a single-run spec, got " +
+        std::to_string(doc.runs.size()) + " [run] sections");
+  }
+  return std::move(doc.runs.front());
 }
 
 RunSpec parse_run_spec_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open run spec: " + path);
   return parse_run_spec(f);
+}
+
+void apply_spec_keys(SystemConfig& cfg, const SpecKeyValues& keys) {
+  int line = 0;
+  for (const auto& [key, val] : keys) {
+    apply_one(cfg, key, val, ++line);
+  }
+}
+
+SpecKeyValues spec_keys(const SystemConfig& cfg) {
+  SpecKeyValues out;
+  for (const KeyDef& def : kSystemKeys) {
+    out.push_back({def.key, def.get(cfg)});
+  }
+  for (const auto& pc : cfg.partitions) {
+    if (pc.storage != StorageKind::Disk) {
+      out.push_back({"storage." + pc.name, storage_name(pc.storage)});
+    }
+    if (pc.disk_cache_pages != 0) {
+      out.push_back(
+          {"disk_cache_pages." + pc.name, fmt_int(pc.disk_cache_pages)});
+    }
+    if (pc.gem_cache_pages != 0) {
+      out.push_back(
+          {"gem_cache_pages." + pc.name, fmt_int(pc.gem_cache_pages)});
+    }
+  }
+  return out;
 }
 
 }  // namespace gemsd

@@ -68,44 +68,123 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace) {
   return sys.run();
 }
 
-BenchOptions parse_bench_args(int argc, char** argv) {
-  BenchOptions o;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    if (std::strcmp(a, "--quick") == 0) {
+namespace {
+
+/// Parse "--flag=value" into value iff `a` starts with "--flag=".
+bool value_of(const std::string& a, const char* flag, std::string& out) {
+  const std::size_t n = std::strlen(flag);
+  if (a.compare(0, n, flag) != 0 || a.size() < n + 1 || a[n] != '=') {
+    return false;
+  }
+  out = a.substr(n + 1);
+  return true;
+}
+
+bool to_double(const std::string& v, double& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(v.c_str(), &end);
+  return end && *end == '\0';
+}
+
+bool to_int(const std::string& v, int& out) {
+  double d;
+  if (!to_double(v, d) || d != static_cast<double>(static_cast<int>(d))) {
+    return false;
+  }
+  out = static_cast<int>(d);
+  return true;
+}
+
+bool to_u64(const std::string& v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(v.c_str(), &end, 10);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+std::string try_parse_bench_args(const std::vector<std::string>& args,
+                                 BenchOptions& o) {
+  for (const std::string& a : args) {
+    std::string v;
+    bool num_ok = true;
+    if (a == "--quick") {
       o.warmup = 2.0;
       o.measure = 6.0;
-    } else if (std::strncmp(a, "--measure=", 10) == 0) {
-      o.measure = std::atof(a + 10);
-    } else if (std::strncmp(a, "--warmup=", 9) == 0) {
-      o.warmup = std::atof(a + 9);
-    } else if (std::strncmp(a, "--max-nodes=", 12) == 0) {
-      o.max_nodes = std::atoi(a + 12);
-    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
-      o.jobs = std::atoi(a + 7);
-    } else if (std::strncmp(a, "--seed=", 7) == 0) {
-      o.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
-    } else if (std::strcmp(a, "--full") == 0) {
+    } else if (value_of(a, "--measure", v)) {
+      num_ok = to_double(v, o.measure);
+    } else if (value_of(a, "--warmup", v)) {
+      num_ok = to_double(v, o.warmup);
+    } else if (value_of(a, "--max-nodes", v)) {
+      num_ok = to_int(v, o.max_nodes);
+    } else if (value_of(a, "--jobs", v)) {
+      num_ok = to_int(v, o.jobs);
+    } else if (value_of(a, "--seed", v)) {
+      num_ok = to_u64(v, o.seed);
+    } else if (a == "--full") {
       o.full = true;
-    } else if (std::strcmp(a, "--csv") == 0) {
+    } else if (a == "--csv") {
       o.csv = true;
-    } else if (std::strncmp(a, "--sample=", 9) == 0) {
-      o.sample_every = std::atof(a + 9);
-    } else if (std::strncmp(a, "--slow-k=", 9) == 0) {
-      o.slow_k = std::atoi(a + 9);
-    } else if (std::strncmp(a, "--metrics-json=", 15) == 0) {
-      o.metrics_json = a + 15;
-    } else if (std::strcmp(a, "--no-json") == 0) {
+    } else if (value_of(a, "--sample", v)) {
+      num_ok = to_double(v, o.sample_every);
+    } else if (value_of(a, "--slow-k", v)) {
+      num_ok = to_int(v, o.slow_k);
+    } else if (value_of(a, "--metrics-json", v)) {
+      o.metrics_json = v;
+    } else if (a == "--no-json") {
       o.no_json = true;
-    } else if (std::strncmp(a, "--trace=", 8) == 0) {
-      o.trace_file = a + 8;
-    } else if (std::strncmp(a, "--trace-run=", 12) == 0) {
-      o.trace_run = std::atoi(a + 12);
-    } else if (std::strncmp(a, "--trace-capacity=", 17) == 0) {
-      o.trace_capacity = static_cast<std::size_t>(std::atoll(a + 17));
-    } else if (std::strcmp(a, "--audit") == 0) {
+    } else if (value_of(a, "--trace", v)) {
+      o.trace_file = v;
+    } else if (value_of(a, "--trace-run", v)) {
+      num_ok = to_int(v, o.trace_run);
+    } else if (value_of(a, "--trace-capacity", v)) {
+      std::uint64_t cap = 0;
+      num_ok = to_u64(v, cap);
+      o.trace_capacity = static_cast<std::size_t>(cap);
+    } else if (a == "--audit") {
       o.audit = true;
+    } else {
+      // Catches typos ("--job=4"), unknown flags, and the space form
+      // ("--warmup 5", which arrives as a bare "--warmup" plus a stray
+      // value) — running a full sweep with silently-defaulted settings is
+      // worse than refusing to start.
+      return "unknown argument '" + a + "' (value flags take --flag=value)";
     }
+    if (!num_ok) return "malformed value in '" + a + "'";
+  }
+  return "";
+}
+
+std::string bench_usage() {
+  return
+      "  --quick            shorter measurement interval (CI-friendly)\n"
+      "  --measure=S        measurement seconds\n"
+      "  --warmup=S         warm-up seconds\n"
+      "  --max-nodes=N      cap the node sweep\n"
+      "  --jobs=N           worker threads (0 = hardware_concurrency)\n"
+      "  --seed=S           simulation seed\n"
+      "  --full             verbose per-run diagnostics\n"
+      "  --csv              machine-readable output\n"
+      "  --sample=S         telemetry sample interval [sim s] (0 = off)\n"
+      "  --slow-k=K         record the K slowest transactions per run\n"
+      "  --metrics-json=F   structured results file\n"
+      "  --no-json          skip the structured results file\n"
+      "  --trace=F          Chrome trace-event JSON of one sweep point\n"
+      "  --trace-run=I      which sweep point gets traced (default 0)\n"
+      "  --trace-capacity=N trace ring-buffer capacity [events]\n"
+      "  --audit            online invariant auditors (fail fast)\n";
+}
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions o;
+  const std::string err = try_parse_bench_args(
+      std::vector<std::string>(argv + 1, argv + argc), o);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: %s\nusage: %s [flags]\n%s", err.c_str(),
+                 argc > 0 ? argv[0] : "bench", bench_usage().c_str());
+    std::exit(2);
   }
   return o;
 }

@@ -22,7 +22,7 @@ SystemConfig make_trace_config(const workload::Trace& trace);
 
 RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 
-/// Shared command-line handling for the bench harnesses:
+/// Shared command-line handling for the bench harnesses and gemsd_bench:
 ///   --quick            shorter measurement interval (CI-friendly)
 ///   --measure=S        measurement seconds
 ///   --warmup=S         warm-up seconds
@@ -56,6 +56,19 @@ struct BenchOptions {
   std::size_t trace_capacity = std::size_t{1} << 18;
   bool audit = false;
 };
+/// Parse the shared flags into `o`. Returns "" on success, or an error
+/// message for an unknown flag or a malformed value ("--warmup 5" space
+/// form included — every value flag takes `=`). `o` is left with whatever
+/// was parsed up to the offending argument.
+std::string try_parse_bench_args(const std::vector<std::string>& args,
+                                 BenchOptions& o);
+
+/// One usage block listing every shared flag (callers prepend their own).
+std::string bench_usage();
+
+/// Strict wrapper: on any unknown flag or malformed value prints the error
+/// plus usage to stderr and exits with status 2 — a typo must never run a
+/// full sweep with default settings.
 BenchOptions parse_bench_args(int argc, char** argv);
 
 /// Names of the debit-credit partitions (report columns).

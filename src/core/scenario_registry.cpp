@@ -1,0 +1,982 @@
+// The compiled-in scenario registry: every paper figure (4.1-4.7, Table
+// 4.1), every ablation, and the related-work/availability experiments as
+// declarative entries. Grids, captions, and run order are exactly what the
+// retired bench_*.cpp mains produced, so the committed results/BENCH_*.json
+// baselines keep matching run-for-run.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cc/lock_engine_protocol.hpp"
+#include "core/scenario.hpp"
+#include "core/system.hpp"
+#include "workload/workload.hpp"
+
+namespace gemsd {
+
+namespace {
+
+Dim routing_dim() {
+  return Dim{"routing",
+             {{"affinity",
+               [](SystemConfig& c) { c.routing = Routing::Affinity; }},
+              {"random",
+               [](SystemConfig& c) { c.routing = Routing::Random; }}}};
+}
+
+Dim update_dim(bool group = false) {
+  Dim d{"update",
+        {{"NOFORCE",
+          [](SystemConfig& c) { c.update = UpdateStrategy::NoForce; }},
+         {"FORCE",
+          [](SystemConfig& c) { c.update = UpdateStrategy::Force; }}}};
+  d.group = group;
+  return d;
+}
+
+Dim coupling_dim() {
+  return Dim{"coupling",
+             {{"GEM",
+               [](SystemConfig& c) { c.coupling = Coupling::GemLocking; }},
+              {"PCL",
+               [](SystemConfig& c) { c.coupling = Coupling::PrimaryCopy; }}}};
+}
+
+// ---------------------------------------------------------------------------
+// Custom-cell machinery for ablation_update_locks: a read-modify-write
+// workload submitted directly (no arrival source), drained to completion.
+
+PageId ul_page(std::int64_t n) { return PageId{0, n}; }
+
+class ModGla : public workload::GlaMap {
+ public:
+  explicit ModGla(int nodes) : nodes_(nodes) {}
+  NodeId gla(PageId p) const override {
+    return static_cast<NodeId>(p.page % nodes_);
+  }
+
+ private:
+  int nodes_;
+};
+
+struct NullGen : workload::WorkloadGenerator {
+  workload::TxnSpec next(sim::Rng&) override { return {}; }
+  int num_types() const override { return 1; }
+};
+
+void run_update_lock_cell(const SystemConfig& cfg, bool intent, int hot_pages,
+                          int txns, BenchRun& b) {
+  System::Workload wl;
+  wl.gen = std::make_unique<NullGen>();
+  wl.router = std::make_unique<workload::RandomRouter>(cfg.nodes);
+  wl.gla = std::make_unique<ModGla>(cfg.nodes);
+  System sys(cfg, std::move(wl));
+
+  sim::Rng rng(4242);
+  for (int i = 0; i < txns; ++i) {
+    workload::TxnSpec t;
+    const std::int64_t page = rng.uniform_int(0, hot_pages - 1);
+    t.refs.push_back(workload::PageRef{ul_page(page), false, intent});
+    t.refs.push_back(workload::PageRef{ul_page(page), true, false});
+    sys.submit(static_cast<NodeId>(i % cfg.nodes), t);
+  }
+  sys.scheduler().run_all();
+  b.result = sys.collect();
+  b.extra.push_back(
+      {"deadlocks", static_cast<double>(sys.metrics().deadlocks.value())});
+  b.extra.push_back({"drain_ms", sys.scheduler().now() * 1e3});
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<Scenario> build_registry() {
+  std::vector<Scenario> reg;
+
+  {
+    Scenario sc;
+    sc.name = "table_4_1";
+    sc.caption = "Table 4.1: parameter settings (debit-credit)";
+    sc.doc = "Parameter settings of the debit-credit experiments, paper "
+             "table vs instantiated values (print-only).";
+    sc.exportable = false;
+    sc.report = [] {
+      const SystemConfig c = make_debit_credit_config();
+      std::printf("== Table 4.1: parameter settings (debit-credit) ==\n");
+      std::printf("%-28s %s\n", "number of nodes N",
+                  "1 - 10 (per-scenario sweep)");
+      std::printf("%-28s %.0f TPS per node\n", "arrival rate",
+                  c.arrival_rate_per_node);
+      std::printf("%-28s\n", "DB size (per 100 TPS):");
+      for (const auto& p : c.partitions) {
+        if (p.pages_per_unit > 0) {
+          std::printf("  %-26s %lld pages, blocking factor %d%s\n",
+                      p.name.c_str(),
+                      static_cast<long long>(p.pages_per_unit),
+                      p.blocking_factor,
+                      p.name == "BRANCH/TELLER" ? " (clustered)" : "");
+        } else {
+          std::printf("  %-26s sequential file, blocking factor %d\n",
+                      p.name.c_str(), p.blocking_factor);
+        }
+      }
+      std::printf("%-28s %.0f instructions per transaction\n", "path length",
+                  c.path.bot_instr + 4 * c.path.per_ref_instr +
+                      c.path.eot_instr);
+      std::printf("%-28s BOT %.0f + 4 x %.0f per record + EOT %.0f\n", "",
+                  c.path.bot_instr, c.path.per_ref_instr, c.path.eot_instr);
+      std::printf(
+          "%-28s page locks for BRANCH/TELLER, ACCOUNT; none for HISTORY\n",
+          "lock mode");
+      std::printf("%-28s %d processors of %.0f MIPS each\n", "CPU capacity",
+                  c.cpu.processors, c.cpu.mips);
+      std::printf("%-28s %d pages per node (1000 in large-buffer runs)\n",
+                  "DB buffer size", c.buffer_pages);
+      std::printf("%-28s %d server, %.0f us/page, %.0f us/entry\n",
+                  "GEM parameters", c.gem.servers, c.gem.page_access * 1e6,
+                  c.gem.entry_access * 1e6);
+      std::printf(
+          "%-28s %.0f MB/s; %.0f instr per short, %.0f per long send/recv\n",
+          "communication", c.comm.bandwidth / 1e6, c.comm.short_instr,
+          c.comm.long_instr);
+      std::printf("%-28s %.0f instructions per page (GEM: %.0f)\n",
+                  "I/O overhead", c.disk.io_instr, c.gem.io_instr);
+      std::printf("%-28s %.0f ms DB disks; %.0f ms log disks\n",
+                  "avg disk access time", c.disk.db_disk * 1e3,
+                  c.disk.log_disk * 1e3);
+      std::printf("%-28s controller %.0f ms; transfer %.1f ms/page\n",
+                  "other I/O delays", c.disk.controller * 1e3,
+                  c.disk.transfer * 1e3);
+      std::printf("%-28s %d per node\n", "multiprogramming level", c.mpl);
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_1";
+    sc.caption =
+        "Fig 4.1: GEM locking - routing x update strategy (buffer 200)";
+    sc.doc = "Influence of workload allocation and update strategy for GEM "
+             "locking, debit-credit, 100 TPS/node, buffer 200.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.buffer_pages = 200;
+    };
+    sc.dims = {routing_dim(), update_dim(),
+               node_dim({1, 2, 3, 5, 7, 10})};
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_2";
+    sc.caption =
+        "Fig 4.2: influence of buffer size (random routing, GEM locking)";
+    sc.doc = "Buffer 200 vs 1000 pages per node under random routing, FORCE "
+             "and NOFORCE.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.routing = Routing::Random;
+    };
+    sc.dims = {update_dim(),
+               Dim{"buffer",
+                   {{"buf=200",
+                     [](SystemConfig& c) { c.buffer_pages = 200; }},
+                    {"buf=1000",
+                     [](SystemConfig& c) { c.buffer_pages = 1000; }}}},
+               node_dim({1, 2, 3, 5, 7, 10})};
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_3";
+    sc.caption =
+        "Fig 4.3: B/T on disk vs GEM, NOFORCE and FORCE (buffer 1000)";
+    sc.doc = "Storage allocation for the hot BRANCH/TELLER partition: "
+             "magnetic disk vs GEM residence, per update strategy.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.buffer_pages = 1000;
+    };
+    sc.dims = {update_dim(/*group=*/true),
+               Dim{"bt_storage",
+                   {{"B/T disk",
+                     [](SystemConfig& c) {
+                       c.partitions[DebitCreditIds::kBranchTeller].storage =
+                           StorageKind::Disk;
+                     }},
+                    {"B/T GEM",
+                     [](SystemConfig& c) {
+                       c.partitions[DebitCreditIds::kBranchTeller].storage =
+                           StorageKind::Gem;
+                     }}}},
+               routing_dim(), node_dim({1, 2, 3, 5, 7, 10})};
+    sc.group_title = [](const std::vector<std::string>& labels) {
+      return std::string("Fig 4.3") +
+             (labels[0] == "NOFORCE" ? "a (NOFORCE)" : "b (FORCE)") +
+             ": B/T on disk (first half) vs GEM (second half), buffer 1000";
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_4";
+    sc.caption =
+        "Fig 4.4: disk caches for BRANCH/TELLER (FORCE, buffer 1000)";
+    sc.doc = "Plain disk vs volatile/non-volatile disk cache vs GEM "
+             "residence for B/T under FORCE.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.update = UpdateStrategy::Force;
+      c.buffer_pages = 1000;
+    };
+    auto bt_storage = [](StorageKind k) {
+      return [k](SystemConfig& c) {
+        c.partitions[DebitCreditIds::kBranchTeller].storage = k;
+      };
+    };
+    sc.dims = {Dim{"bt_storage",
+                   {{"disk", bt_storage(StorageKind::Disk)},
+                    {"disk+vcache",
+                     bt_storage(StorageKind::DiskVolatileCache)},
+                    {"disk+nvcache", bt_storage(StorageKind::DiskNvCache)},
+                    {"GEM", bt_storage(StorageKind::Gem)}}},
+               routing_dim(), node_dim({1, 2, 3, 5, 7, 10})};
+    sc.note_pre =
+        "B/T storage per block: disk, disk+vcache, disk+nvcache, "
+        "GEM (affinity then random within each)";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_5";
+    sc.caption = "Fig 4.5: PCL vs GEM locking, buffer x update strategy";
+    sc.doc = "Primary Copy Locking (loose coupling) vs GEM locking across "
+             "buffer sizes, update strategies, and routing.";
+    Dim buf{"buffer",
+            {{"200", [](SystemConfig& c) { c.buffer_pages = 200; }},
+             {"1000", [](SystemConfig& c) { c.buffer_pages = 1000; }}}};
+    buf.group = true;
+    sc.dims = {buf, update_dim(/*group=*/true), coupling_dim(),
+               routing_dim(), node_dim({1, 2, 3, 5, 7, 10})};
+    sc.group_title = [](const std::vector<std::string>& labels) {
+      return "Fig 4.5: PCL vs GEM locking (" + labels[1] + ", buffer " +
+             labels[0] + ")";
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_6";
+    sc.caption =
+        "Fig 4.6: transaction rate per node at 80% CPU utilization "
+        "(buffer 1000)";
+    sc.doc = "Throughput per node at 80% CPU utilization, PCL vs GEM "
+             "locking, both routings.";
+    sc.tweak = [](SystemConfig& c) { c.buffer_pages = 1000; };
+    sc.dims = {coupling_dim(), update_dim(), routing_dim(),
+               node_dim({1, 2, 5, 10})};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Fig 4.6: transaction rate per node at 80%% CPU "
+          "utilization (buffer 1000) ==\n");
+      std::printf("%-12s %-9s %-9s | %5s %7s %7s %9s\n", "coupling",
+                  "update", "routing", "N", "cpuMax", "msg/tx",
+                  "TPS@80/node");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        std::printf("%-12s %-9s %-9s | %5d %6.1f%% %7.2f %9.1f\n",
+                    to_string(r.coupling), to_string(r.update),
+                    to_string(r.routing), r.nodes, r.cpu_util_max * 100,
+                    r.messages_per_txn, r.tps_per_node_at_80);
+      }
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "fig_4_7";
+    sc.caption =
+        "Fig 4.7: PCL vs GEM locking, real-life (synthetic) trace "
+        "(50 TPS, buffer 1000, NOFORCE)";
+    sc.doc = "Trace-driven workload, PCL (with read optimization) vs GEM "
+             "locking, 1-8 nodes.";
+    sc.workload = Scenario::WorkloadKind::Trace;
+    sc.dims = {coupling_dim(), routing_dim(), node_dim({1, 2, 4, 6, 8})};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Fig 4.7: PCL vs GEM locking, real-life (synthetic) trace "
+          "(50 TPS, buffer 1000, NOFORCE) ==\n");
+      std::printf("%-12s %-9s | %2s %9s %9s %7s %7s %7s %7s %9s\n",
+                  "coupling", "routing", "N", "resp[ms]", "norm[ms]",
+                  "cpuAvg", "cpuMax", "locLck", "msg/tx", "TPS@80/nd");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        std::printf(
+            "%-12s %-9s | %2d %9.2f %9.2f %6.1f%% %6.1f%% %6.1f%% "
+            "%7.2f %9.1f\n",
+            to_string(r.coupling), to_string(r.routing), r.nodes, r.resp_ms,
+            r.resp_norm_ms * 57.0, r.cpu_util * 100, r.cpu_util_max * 100,
+            r.local_lock_fraction * 100, r.messages_per_txn,
+            r.tps_per_node_at_80);
+      }
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_gem_speed";
+    sc.caption =
+        "Ablation: GEM entry access time (GEM locking, random routing, "
+        "NOFORCE, buffer 200)";
+    sc.doc = "How fast must the global store be for GEM locking to stay "
+             "essentially free? Sweeps the entry access time 2-500 us.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.routing = Routing::Random;
+      c.update = UpdateStrategy::NoForce;
+    };
+    Dim entry{"entry_us", {}};
+    for (double us : {2.0, 20.0, 100.0, 250.0, 500.0}) {
+      DimValue v;
+      v.label = "entry=" + std::to_string(static_cast<int>(us)) + "us";
+      v.apply = [us](SystemConfig& c) { c.gem.entry_access = us * 1e-6; };
+      v.extra = {{"entry_us", us}};
+      entry.values.push_back(std::move(v));
+    }
+    sc.dims = {node_dim({5, 10}), entry};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: GEM entry access time (GEM locking, random "
+          "routing, NOFORCE, buffer 200) ==\n");
+      std::printf("%5s %12s | %9s %8s %8s %9s\n", "N", "entry[us]",
+                  "resp[ms]", "gemUtil", "cpu", "tps");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        std::printf("%5d %12.0f | %9.2f %7.2f%% %7.1f%% %9.1f\n", r.nodes,
+                    extra_of(b, "entry_us"), r.resp_ms, r.gem_util * 100,
+                    r.cpu_util * 100, r.throughput);
+      }
+    };
+    sc.note =
+        "Paper context: GEM locking at 2 us/entry kept GEM utilization "
+        "< 2% at 1000 TPS; [Yu87]-class lock engines (100-500 us) "
+        "saturate the shared facility long before that.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_msg_cost";
+    sc.caption =
+        "Ablation: message CPU cost (PCL vs GEM, random routing, NOFORCE, "
+        "buffer 200)";
+    sc.doc = "Sweeps the per-message CPU instruction charge to find where "
+             "loose coupling would catch up with GEM locking.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.routing = Routing::Random;
+    };
+    Dim variant{"variant",
+                {{"GEM locking", [](SystemConfig&) {}}}};
+    for (double instr : {5000.0, 2500.0, 1000.0, 250.0}) {
+      DimValue v;
+      v.label = "PCL instr=" + std::to_string(static_cast<int>(instr));
+      v.apply = [instr](SystemConfig& c) {
+        c.coupling = Coupling::PrimaryCopy;
+        c.comm.short_instr = instr;
+        c.comm.long_instr = instr * 8.0 / 5.0;  // keep the paper's ratio
+      };
+      variant.values.push_back(std::move(v));
+    }
+    sc.dims = {node_dim({10}, /*clamp=*/true), variant};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      if (res.runs.empty()) return;
+      const RunResult& gem = res.runs.front().result;
+      std::printf(
+          "\n== Ablation: message CPU cost (PCL vs GEM, random routing, "
+          "NOFORCE, N=%d, buffer 200) ==\n",
+          gem.nodes);
+      std::printf("GEM locking baseline: resp %.2f ms, tps80/node %.1f\n\n",
+                  gem.resp_ms, gem.tps_per_node_at_80);
+      std::printf("%14s | %9s %8s %8s %9s\n", "instr/short", "resp[ms]",
+                  "cpu", "cpuMax", "tps80/nd");
+      for (std::size_t i = 1; i < res.runs.size(); ++i) {
+        const BenchRun& b = res.runs[i];
+        const RunResult& r = b.result;
+        std::printf("%14.0f | %9.2f %7.1f%% %7.1f%% %9.1f\n",
+                    b.config.comm.short_instr, r.resp_ms, r.cpu_util * 100,
+                    r.cpu_util_max * 100, r.tps_per_node_at_80);
+      }
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_read_opt";
+    sc.caption =
+        "Ablation: PCL read optimization (trace workload, 50 TPS/node, "
+        "NOFORCE)";
+    sc.doc = "Local-lock share with and without PCL read authorizations on "
+             "the read-dominated trace workload.";
+    sc.workload = Scenario::WorkloadKind::Trace;
+    sc.tweak = [](SystemConfig& c) { c.coupling = Coupling::PrimaryCopy; };
+    sc.dims = {Dim{"read_opt",
+                   {{"readOpt=off",
+                     [](SystemConfig& c) { c.pcl_read_optimization = false; },
+                     -1, 0.0, {{"read_opt", 0.0}}},
+                    {"readOpt=on",
+                     [](SystemConfig& c) { c.pcl_read_optimization = true; },
+                     -1, 0.0, {{"read_opt", 1.0}}}}},
+               routing_dim(), node_dim({2, 4, 8})};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: PCL read optimization (trace workload, "
+          "50 TPS/node, NOFORCE) ==\n");
+      std::printf("%-9s %-9s %2s | %8s %9s %7s %8s\n", "readOpt", "routing",
+                  "N", "locLck", "resp[ms]", "msg/tx", "rev/tx");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        std::printf("%-9s %-9s %2d | %7.1f%% %9.1f %7.2f %8.3f\n",
+                    extra_of(b, "read_opt") != 0 ? "on" : "off",
+                    to_string(r.routing), r.nodes,
+                    r.local_lock_fraction * 100, r.resp_ms,
+                    r.messages_per_txn, r.revocations_per_txn);
+      }
+    };
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_force_writes";
+    sc.caption =
+        "Ablation: removing FORCE's remaining write delays (GEM locking, "
+        "random routing, buffer 1000)";
+    sc.doc = "Cumulatively strips each class of synchronous write delay "
+             "from the FORCE configuration (Section 4.4's closing remark).";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.update = UpdateStrategy::Force;
+      c.routing = Routing::Random;
+      c.buffer_pages = 1000;
+    };
+    auto bt_gem = [](SystemConfig& c) {
+      c.partitions[DebitCreditIds::kBranchTeller].storage = StorageKind::Gem;
+    };
+    auto nv_caches = [bt_gem](SystemConfig& c) {
+      bt_gem(c);
+      auto& acc = c.partitions[DebitCreditIds::kAccount];
+      acc.storage = StorageKind::DiskNvCache;
+      acc.disk_cache_pages = 20000;  // write-absorbing working store
+      auto& his = c.partitions[DebitCreditIds::kHistory];
+      his.storage = StorageKind::DiskNvCache;
+      his.disk_cache_pages = 5000;
+    };
+    Dim step{"step",
+             {{"all on plain disks", [](SystemConfig&) {}, -1, 0.0,
+               {{"step", 0.0}}},
+              {"+ B/T in GEM (Fig 4.3b)", bt_gem, -1, 0.0, {{"step", 1.0}}},
+              {"+ NV cache on ACCOUNT+HISTORY (Sec 4.4)", nv_caches, -1,
+               0.0, {{"step", 2.0}}},
+              {"+ log in GEM",
+               [nv_caches](SystemConfig& c) {
+                 nv_caches(c);
+                 c.log_storage = StorageKind::Gem;
+               },
+               -1, 0.0, {{"step", 3.0}}}}};
+    sc.dims = {node_dim({5}, /*clamp=*/true), step};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      if (res.runs.empty()) return;
+      std::printf(
+          "\n== Ablation: removing FORCE's remaining write delays "
+          "(GEM locking, random routing, buffer 1000, N=%d) ==\n",
+          res.runs.front().result.nodes);
+      std::printf("%-44s %9s %8s\n", "configuration", "resp[ms]", "fW/tx");
+      for (std::size_t i = 0; i < res.runs.size(); ++i) {
+        const std::size_t step =
+            res.plan.cells[i].value_idx.size() > 1
+                ? res.plan.cells[i].value_idx[1]
+                : 0;
+        static const char* kLabels[] = {
+            "all on plain disks", "+ B/T in GEM (Fig 4.3b)",
+            "+ NV cache on ACCOUNT+HISTORY (Sec 4.4)", "+ log in GEM"};
+        std::printf("%-44s %9.2f %8.2f\n", kLabels[step % 4],
+                    res.runs[i].result.resp_ms,
+                    res.runs[i].result.force_writes_per_txn);
+      }
+    };
+    sc.note =
+        "Expected shape: each step strips one class of synchronous "
+        "write delay; the final configuration approaches NOFORCE-class "
+        "response times, the paper's conclusion that FORCE becomes "
+        "viable when force-writes go to non-volatile semiconductor "
+        "memory.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_gem_msg";
+    sc.caption =
+        "Ablation: messages across GEM vs network (debit-credit, random "
+        "routing, NOFORCE, buffer 1000)";
+    sc.doc = "Storage-based communication (Section 2): PCL over the "
+             "network vs PCL through GEM vs full GEM locking.";
+    sc.tweak = [](SystemConfig& c) {
+      c.routing = Routing::Random;
+      c.update = UpdateStrategy::NoForce;
+      c.buffer_pages = 1000;
+    };
+    auto variant = [](Coupling cp, MsgTransport tr) {
+      return [cp, tr](SystemConfig& c) {
+        c.coupling = cp;
+        c.comm.transport = tr;
+      };
+    };
+    sc.dims = {node_dim({2, 5, 10}),
+               Dim{"variant",
+                   {{"PCL / network msgs",
+                     variant(Coupling::PrimaryCopy, MsgTransport::Network)},
+                    {"PCL / GEM msgs",
+                     variant(Coupling::PrimaryCopy, MsgTransport::GemStore)},
+                    {"GEM locking",
+                     variant(Coupling::GemLocking,
+                             MsgTransport::Network)}}}};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: messages across GEM vs network (debit-credit, "
+          "random routing, NOFORCE, buffer 1000) ==\n");
+      std::printf("%-26s %3s | %9s %7s %7s %7s %9s\n", "configuration", "N",
+                  "resp[ms]", "cpu", "gem", "net", "tps80/nd");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        const char* label =
+            r.coupling == Coupling::GemLocking ? "GEM locking"
+            : b.config.comm.transport == MsgTransport::GemStore
+                ? "PCL / GEM msgs"
+                : "PCL / network msgs";
+        std::printf("%-26s %3d | %9.2f %6.1f%% %6.2f%% %6.1f%% %9.1f\n",
+                    label, r.nodes, r.resp_ms, r.cpu_util * 100,
+                    r.gem_util * 100, r.net_util * 100,
+                    r.tps_per_node_at_80);
+      }
+    };
+    sc.note =
+        "Expected shape: GEM messaging removes most of PCL's CPU "
+        "overhead and delay, landing between loose coupling and GEM "
+        "locking — the paper's Section 2 claim.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_gem_cache";
+    sc.caption =
+        "Ablation: GEM page cache vs alternatives for B/T (FORCE, random "
+        "routing, buffer 1000)";
+    sc.doc = "GEM as a global page cache (the SIM [DDY91] usage form) "
+             "against disk caches and full GEM residence.";
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.update = UpdateStrategy::Force;
+      c.routing = Routing::Random;
+      c.buffer_pages = 1000;
+      c.partitions[DebitCreditIds::kBranchTeller].gem_cache_pages =
+          2000;  // holds the whole B/T partition
+    };
+    auto bt_storage = [](StorageKind k) {
+      return [k](SystemConfig& c) {
+        c.partitions[DebitCreditIds::kBranchTeller].storage = k;
+      };
+    };
+    sc.dims = {node_dim({2, 5, 10}),
+               Dim{"bt_storage",
+                   {{"disk", bt_storage(StorageKind::Disk)},
+                    {"disk+nvcache", bt_storage(StorageKind::DiskNvCache)},
+                    {"disk+gemcache",
+                     bt_storage(StorageKind::DiskGemCache)},
+                    {"GEM", bt_storage(StorageKind::Gem)}}}};
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: GEM page cache vs alternatives for B/T "
+          "(FORCE, random routing, buffer 1000) ==\n");
+      std::printf("%-18s %3s | %9s %8s %8s %8s\n", "B/T allocation", "N",
+                  "resp[ms]", "gemUtil", "hit:B/T", "fW/tx");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        const StorageKind k =
+            b.config.partitions[DebitCreditIds::kBranchTeller].storage;
+        std::printf("%-18s %3d | %9.2f %7.2f%% %7.1f%% %8.2f\n",
+                    to_string(k), r.nodes, r.resp_ms, r.gem_util * 100,
+                    (r.hit_ratio.empty() ? 0 : r.hit_ratio[0]) * 100,
+                    r.force_writes_per_txn);
+      }
+    };
+    sc.note =
+        "Expected shape: the GEM page cache matches the non-volatile "
+        "disk cache and the GEM residence (all three absorb the "
+        "force-write and serve misses from the global store) — i.e. "
+        "the [DDY91] response-time gains are an I/O effect available "
+        "to any non-volatile intermediate memory, exactly the paper's "
+        "related-work argument.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_gem_auth";
+    sc.caption =
+        "Ablation: GEM local read authorizations (trace workload, "
+        "50 TPS/node, NOFORCE, affinity routing)";
+    sc.doc = "What the Sections 2/3.2 read-authorization refinement buys "
+             "on the lock-heavy trace workload.";
+    sc.workload = Scenario::WorkloadKind::Trace;
+    sc.tweak = [](SystemConfig& c) {
+      c.coupling = Coupling::GemLocking;
+      c.routing = Routing::Affinity;
+    };
+    sc.dims = {Dim{"auths",
+                   {{"auths=off",
+                     [](SystemConfig& c) {
+                       c.gem_read_authorizations = false;
+                     },
+                     -1, 0.0, {{"auths", 0.0}}},
+                    {"auths=on",
+                     [](SystemConfig& c) {
+                       c.gem_read_authorizations = true;
+                     },
+                     -1, 0.0, {{"auths", 1.0}}}}},
+               node_dim({2, 4, 8})};
+    sc.probe = [](System& sys, BenchRun& b) {
+      b.extra.push_back(
+          {"glt_locks",
+           static_cast<double>(sys.metrics().lock_local.value())});
+      b.extra.push_back(
+          {"auth_locks",
+           static_cast<double>(sys.metrics().lock_auth_local.value())});
+    };
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: GEM local read authorizations (trace workload, "
+          "50 TPS/node, NOFORCE, affinity routing) ==\n");
+      std::printf("%-6s %2s | %9s %9s %9s %8s %8s\n", "auths", "N",
+                  "resp[ms]", "gltLocks", "authLocks", "gemUtil", "rev/tx");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        const double per_txn =
+            r.commits ? 1.0 / static_cast<double>(r.commits) : 0;
+        std::printf("%-6s %2d | %9.1f %9.2f %9.2f %7.2f%% %8.3f\n",
+                    extra_of(b, "auths") != 0 ? "on" : "off", r.nodes,
+                    r.resp_ms, extra_of(b, "glt_locks") * per_txn,
+                    extra_of(b, "auth_locks") * per_txn, r.gem_util * 100,
+                    r.revocations_per_txn);
+      }
+    };
+    sc.note =
+        "Expected shape: authorizations shift most of the ~58 GLT "
+        "lock operations per transaction to local processing, cutting "
+        "GEM utilization; response times barely move (GLT access was "
+        "already cheap) — confirming why the paper could afford to "
+        "skip the refinement in its experiments.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_update_locks";
+    sc.caption =
+        "Ablation: update-mode locks vs R->W upgrades "
+        "(read-modify-write, 800 txns, 4 nodes)";
+    sc.doc = "Update-mode (U) locks against plain read->write upgrades "
+             "under a deadlock-prone read-modify-write workload.";
+    sc.exportable = false;  // custom workload, drained by transaction count
+    sc.stamp_time = false;
+    sc.stamp_seed = false;
+    sc.base = [] {
+      SystemConfig cfg;
+      cfg.nodes = 4;
+      cfg.update = UpdateStrategy::NoForce;
+      cfg.buffer_pages = 64;
+      cfg.mpl = 400;
+      cfg.partitions.resize(1);
+      cfg.partitions[0].name = "T";
+      cfg.partitions[0].pages_per_unit = 4096;
+      cfg.partitions[0].locked = true;
+      cfg.partitions[0].disks_per_unit = 16;
+      return cfg;
+    };
+    Dim hot{"hotset", {}};
+    for (int h : {4, 32, 256}) {
+      DimValue v;
+      v.label = "hot=" + std::to_string(h);
+      v.param = h;
+      v.extra = {{"hot_pages", static_cast<double>(h)}};
+      hot.values.push_back(std::move(v));
+    }
+    sc.dims = {coupling_dim(), hot,
+               Dim{"mode",
+                   {{"R->W", nullptr, -1, 0.0, {{"update_mode_locks", 0.0}}},
+                    {"U", nullptr, -1, 1.0, {{"update_mode_locks", 1.0}}}}}};
+    sc.cell = [](const SystemConfig& cfg, const ScenarioCell& cell,
+                 BenchRun& b) {
+      run_update_lock_cell(cfg, /*intent=*/cell.params[2] != 0,
+                           /*hot_pages=*/static_cast<int>(cell.params[1]),
+                           /*txns=*/800, b);
+    };
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: update-mode locks vs R->W upgrades "
+          "(read-modify-write, 800 txns, 4 nodes) ==\n");
+      std::printf("%-5s %-8s %9s | %10s %9s %10s\n", "mode", "locking",
+                  "hotset", "deadlocks", "resp[ms]", "drain[ms]");
+      for (const BenchRun& b : res.runs) {
+        std::printf("%-5s %-8s %9.0f | %10.0f %9.1f %10.0f\n",
+                    extra_of(b, "update_mode_locks") != 0 ? "U" : "R->W",
+                    to_string(b.config.coupling), extra_of(b, "hot_pages"),
+                    extra_of(b, "deadlocks"), b.result.resp_ms,
+                    extra_of(b, "drain_ms"));
+      }
+    };
+    sc.note =
+        "Expected shape: U locks eliminate upgrade deadlocks at every "
+        "contention level; the R->W variant thrashes (aborts/restarts) "
+        "as the hot set shrinks.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "related_lock_engine";
+    sc.caption =
+        "Related work: central lock engine [Yu87] vs GEM locking "
+        "(debit-credit, FORCE, random routing, buffer 1000)";
+    sc.doc = "The [Yu87] central lock engine (100-500 us per lock op) "
+             "against GEM locking and PCL.";
+    sc.tweak = [](SystemConfig& c) {
+      c.update = UpdateStrategy::Force;
+      c.routing = Routing::Random;
+      c.buffer_pages = 1000;
+    };
+    Dim variant{"variant",
+                {{"GEM",
+                  [](SystemConfig& c) { c.coupling = Coupling::GemLocking; }},
+                 {"PCL",
+                  [](SystemConfig& c) {
+                    c.coupling = Coupling::PrimaryCopy;
+                  }}}};
+    for (double us : {100.0, 200.0, 500.0}) {
+      DimValue v;
+      v.label = "ENGINE " + std::to_string(static_cast<int>(us)) + "us/op";
+      v.apply = [us](SystemConfig& c) {
+        c.coupling = Coupling::LockEngine;
+        c.lock_engine_service = us * 1e-6;
+      };
+      v.extra = {{"service_us", us}};
+      variant.values.push_back(std::move(v));
+    }
+    sc.dims = {node_dim({2, 5, 10}), variant};
+    sc.probe = [](System& sys, BenchRun& b) {
+      if (b.config.coupling == Coupling::LockEngine) {
+        b.extra.push_back(
+            {"engine_util",
+             static_cast<cc::LockEngineProtocol&>(sys.protocol())
+                 .engine_utilization()});
+      }
+    };
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Related work: central lock engine [Yu87] vs GEM locking "
+          "(debit-credit, FORCE, random routing, buffer 1000) ==\n");
+      std::printf("%-22s %3s | %9s %8s %9s %9s\n", "coupling", "N",
+                  "resp[ms]", "engine", "tps", "msg/tx");
+      for (const BenchRun& b : res.runs) {
+        const RunResult& r = b.result;
+        if (b.config.coupling != Coupling::LockEngine) {
+          std::printf("%-22s %3d | %9.2f %8s %9.1f %9.2f\n",
+                      to_string(r.coupling), r.nodes, r.resp_ms, "-",
+                      r.throughput, r.messages_per_txn);
+        } else {
+          std::printf("ENGINE %3.0fus/op       %3d | %9.2f %7.1f%% %9.1f "
+                      "%9.2f\n",
+                      extra_of(b, "service_us"), r.nodes, r.resp_ms,
+                      extra_of(b, "engine_util") * 100, r.throughput,
+                      r.messages_per_txn);
+        }
+      }
+    };
+    sc.note =
+        "Expected shape: the single engine server saturates as N "
+        "grows (utilization -> 100%, throughput flattens below the "
+        "offered load, response times blow up), earliest for the "
+        "500 us service time — while GEM locking's 2 us entries stay "
+        "below 2% utilization at 1000 TPS.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "availability";
+    sc.caption =
+        "Availability: node 1 of 4 crashes at t=10s (debit-credit, "
+        "NOFORCE, affinity, 100 TPS/node)";
+    sc.doc = "Crash one of four nodes mid-run and track the committed-"
+             "transaction timeline through detection, recovery, rejoin.";
+    sc.exportable = false;  // failure-injection timeline, not a plain sweep
+    sc.stamp_time = false;  // the cell drives the clock itself
+    sc.tweak = [](SystemConfig& c) {
+      c.nodes = 4;
+      c.update = UpdateStrategy::NoForce;
+      c.routing = Routing::Affinity;
+    };
+    sc.dims = {coupling_dim()};
+    sc.cell = [](const SystemConfig& cfg, const ScenarioCell&, BenchRun& b) {
+      const double kFailAt = 10.0, kEnd = 22.0, kBucket = 1.0;
+      System sys(cfg, make_debit_credit_workload(cfg));
+      sys.start_source();
+      std::vector<double> buckets;
+      std::uint64_t last = 0;
+      bool failed = false;
+      for (double t = kBucket; t <= kEnd + 1e-9; t += kBucket) {
+        if (!failed && t > kFailAt) {
+          sys.run_until(kFailAt);
+          sys.fail_node(1);
+          failed = true;
+        }
+        sys.run_until(t);
+        const auto now = sys.metrics().commits.value();
+        buckets.push_back(static_cast<double>(now - last) / kBucket);
+        last = now;
+      }
+      b.extra.push_back(
+          {"lost_txns",
+           static_cast<double>(sys.metrics().lost_txns.value())});
+      b.extra.push_back({"recovery_s",
+                         sys.metrics().recovery_time.count()
+                             ? sys.metrics().recovery_time.mean()
+                             : 0.0});
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        b.extra.push_back(
+            {"commits_per_s_t" + std::to_string(i + 1), buckets[i]});
+      }
+      b.result = sys.collect();
+    };
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      const double kFailAt = 10.0, kBucket = 1.0;
+      std::printf(
+          "\n== Availability: node 1 of 4 crashes at t=%.0fs "
+          "(debit-credit, NOFORCE, affinity, 100 TPS/node) ==\n",
+          kFailAt);
+      std::printf(
+          "GLA rebuild (PCL) 2 s, node restart 5 s, detection 100 ms.\n\n");
+      std::printf("%5s", "t[s]");
+      for (const BenchRun& b : res.runs) {
+        std::printf(" %12s", to_string(b.config.coupling));
+      }
+      std::printf("   (committed txns per second bucket)\n");
+      for (std::size_t bkt = 1;; ++bkt) {
+        const std::string key = "commits_per_s_t" + std::to_string(bkt);
+        if (res.runs.empty() || extra_of(res.runs[0], key, -1) < 0) break;
+        std::printf("%5.0f", static_cast<double>(bkt) * kBucket);
+        for (const BenchRun& b : res.runs) {
+          std::printf(" %12.0f", extra_of(b, key));
+        }
+        std::printf("%s\n", static_cast<double>(bkt) * kBucket ==
+                                    kFailAt + 1
+                                ? "   <- crash window"
+                                : "");
+      }
+      if (res.runs.size() >= 2) {
+        std::printf(
+            "\nlost in-flight txns: GEM %.0f, PCL %.0f; "
+            "recovery (detect+redo[+rebuild]): GEM %.2fs, PCL %.2fs\n",
+            extra_of(res.runs[0], "lost_txns"),
+            extra_of(res.runs[1], "lost_txns"),
+            extra_of(res.runs[0], "recovery_s"),
+            extra_of(res.runs[1], "recovery_s"));
+      }
+    };
+    sc.note =
+        "Expected shape: both dip to ~3/4 throughput while the node "
+        "is down; PCL additionally stalls every transaction touching "
+        "the dead node's lock partition until the authority is "
+        "rebuilt (deeper, longer dip), while GEM locking's surviving "
+        "lock table lets the other nodes run on undisturbed.";
+    reg.push_back(std::move(sc));
+  }
+
+  {
+    Scenario sc;
+    sc.name = "ablation_group_commit";
+    sc.caption =
+        "Ablation: group commit (debit-credit, 1 node, 1 log disk, 8 CPUs, "
+        "NOFORCE)";
+    sc.doc = "Pushes the single-log-disk commit path past saturation with "
+             "and without group commit.";
+    sc.tweak = [](SystemConfig& c) {
+      c.nodes = 1;
+      c.cpu.processors = 8;  // keep the CPU out of the way
+      c.log_disks_per_node = 1;
+    };
+    Dim tps{"tps", {}};
+    for (double t : {100.0, 150.0, 200.0, 300.0}) {
+      DimValue v;
+      v.label = "tps=" + std::to_string(static_cast<int>(t));
+      v.apply = [t](SystemConfig& c) { c.arrival_rate_per_node = t; };
+      tps.values.push_back(std::move(v));
+    }
+    sc.dims = {tps,
+               Dim{"group_commit",
+                   {{"group=off",
+                     [](SystemConfig& c) { c.log_group_commit = false; },
+                     -1, 0.0, {{"group_commit", 0.0}}},
+                    {"group=on",
+                     [](SystemConfig& c) { c.log_group_commit = true; },
+                     -1, 0.0, {{"group_commit", 1.0}}}}}};
+    sc.probe = [](System& sys, BenchRun& b) {
+      b.extra.push_back(
+          {"log_util", sys.storage().log_group(0).arm_utilization()});
+      b.extra.push_back({"txns_per_flush", sys.log(0).batching_factor()});
+    };
+    sc.table = [](const ScenarioResult& res, const BenchOptions&) {
+      std::printf(
+          "\n== Ablation: group commit (debit-credit, 1 node, 1 log "
+          "disk, 8 CPUs, NOFORCE) ==\n");
+      std::printf("%6s %-6s | %9s %9s %9s %10s\n", "TPS", "group",
+                  "resp[ms]", "tput", "logUtil", "txns/flush");
+      for (const BenchRun& b : res.runs) {
+        std::printf("%6.0f %-6s | %9.2f %9.1f %8.1f%% %10.2f\n",
+                    b.config.arrival_rate_per_node,
+                    extra_of(b, "group_commit") != 0 ? "on" : "off",
+                    b.result.resp_ms, b.result.throughput,
+                    extra_of(b, "log_util") * 100,
+                    extra_of(b, "txns_per_flush"));
+      }
+    };
+    sc.note =
+        "Expected shape: without group commit the single log disk "
+        "saturates between 150 and 200 TPS (response times explode, "
+        "throughput caps); with it the batching factor rises with the "
+        "load and the commit path keeps scaling.";
+    reg.push_back(std::move(sc));
+  }
+
+  return reg;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_registry() {
+  static const std::vector<Scenario>* reg =
+      new std::vector<Scenario>(build_registry());
+  return *reg;
+}
+
+}  // namespace gemsd

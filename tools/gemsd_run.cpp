@@ -5,17 +5,20 @@
 //              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
 //              [--sample=S] [--slow-k=K] [--audit]
 //
-// Multiple specs are executed as one sweep on a worker pool (--jobs=N,
-// default hardware_concurrency); results print in command-line order.
-// --metrics-json writes the structured results report (all metrics,
+// A spec holds either a single configuration or a whole sweep (one [run]
+// section per point — the format gemsd_bench --export-spec writes; see
+// specs/*.ini). All runs from all files execute as one sweep on a worker
+// pool (--jobs=N, default hardware_concurrency); results print in spec
+// order. --metrics-json writes the structured results report (all metrics,
 // telemetry samples, slowest transactions); --trace writes a Chrome
 // trace-event file for one of the runs (pick with --trace-run).
-// See src/core/config_file.hpp for the spec format, and specs/*.ini for
-// ready-made examples.
+// See src/core/config_file.hpp for the spec format.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,10 +72,51 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<RunSpec> specs(spec_files.size());
-  for (std::size_t i = 0; i < spec_files.size(); ++i) {
+  // Flatten all spec files into one run list, remembering where each run
+  // came from for the report headers.
+  struct Job {
+    RunSpec spec;
+    std::string title;  ///< "<file>" or "<file> [run I]"
+  };
+  std::vector<Job> jobs_list;
+  try {
+    for (const std::string& f : spec_files) {
+      const SpecDoc doc = parse_spec_doc_file(f);
+      for (std::size_t r = 0; r < doc.runs.size(); ++r) {
+        Job j;
+        j.spec = doc.runs[r];
+        j.title = doc.runs.size() == 1
+                      ? f
+                      : f + " [run " + std::to_string(r + 1) + "/" +
+                            std::to_string(doc.runs.size()) + "]";
+        jobs_list.push_back(std::move(j));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  // Traces are shared across the runs that use the same source: generated
+  // (or loaded) once, outside the worker pool.
+  std::map<std::pair<std::string, std::size_t>,
+           std::shared_ptr<const workload::Trace>>
+      traces;
+  for (const Job& j : jobs_list) {
+    if (j.spec.kind != RunSpec::Kind::Trace) continue;
+    const auto key = std::make_pair(j.spec.trace_file, j.spec.trace_txns);
+    if (traces.count(key)) continue;
     try {
-      specs[i] = parse_run_spec_file(spec_files[i]);
+      if (!j.spec.trace_file.empty()) {
+        traces[key] = std::make_shared<const workload::Trace>(
+            workload::Trace::load_file(j.spec.trace_file));
+      } else {
+        sim::Rng rng(7);
+        workload::SyntheticTraceConfig tc;
+        tc.transactions = j.spec.trace_txns;
+        traces[key] = std::make_shared<const workload::Trace>(
+            workload::generate_synthetic_trace(tc, rng));
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -85,8 +129,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> names;
   };
   std::vector<std::function<SpecResult()>> tasks;
-  for (std::size_t si = 0; si < specs.size(); ++si) {
-    const RunSpec& spec = specs[si];
+  for (std::size_t si = 0; si < jobs_list.size(); ++si) {
+    const RunSpec& spec = jobs_list[si].spec;
     SystemConfig::ObsConfig obs;
     obs.sample_every = obs_opt.sample_every;
     obs.slow_k = obs_opt.slow_k;
@@ -94,11 +138,15 @@ int main(int argc, char** argv) {
     if (!obs_opt.trace_file.empty() &&
         si == static_cast<std::size_t>(
                   obs_opt.trace_run < 0 ? 0 : obs_opt.trace_run) %
-                  specs.size()) {
+                  jobs_list.size()) {
       obs.trace = true;
       obs.trace_capacity = obs_opt.trace_capacity;
     }
-    tasks.push_back([&spec, obs] {
+    std::shared_ptr<const workload::Trace> trace;
+    if (spec.kind == RunSpec::Kind::Trace) {
+      trace = traces.at(std::make_pair(spec.trace_file, spec.trace_txns));
+    }
+    tasks.push_back([&spec, obs, trace] {
       SpecResult out;
       if (spec.kind == RunSpec::Kind::DebitCredit) {
         SystemConfig cfg = spec.cfg;
@@ -107,35 +155,15 @@ int main(int argc, char** argv) {
         out.cfg = cfg;
         out.names = debit_credit_partition_names();
       } else {
-        workload::Trace trace;
-        if (!spec.trace_file.empty()) {
-          trace = workload::Trace::load_file(spec.trace_file);
-        } else {
-          sim::Rng rng(7);
-          workload::SyntheticTraceConfig tc;
-          tc.transactions = spec.trace_txns;
-          trace = workload::generate_synthetic_trace(tc, rng);
-        }
-        // Trace runs use the trace config's partitions but keep the spec's
-        // system knobs.
-        SystemConfig cfg = make_trace_config(trace);
-        cfg.nodes = spec.cfg.nodes;
-        cfg.arrival_rate_per_node = spec.cfg.arrival_rate_per_node;
-        cfg.coupling = spec.cfg.coupling;
-        cfg.update = spec.cfg.update;
-        cfg.routing = spec.cfg.routing;
-        cfg.buffer_pages = spec.cfg.buffer_pages;
-        cfg.pcl_read_optimization = spec.cfg.pcl_read_optimization;
-        cfg.gem_read_authorizations = spec.cfg.gem_read_authorizations;
-        cfg.comm.transport = spec.cfg.comm.transport;
-        cfg.log_group_commit = spec.cfg.log_group_commit;
-        cfg.warmup = spec.cfg.warmup;
-        cfg.measure = spec.cfg.measure;
-        cfg.seed = spec.cfg.seed;
+        // Trace runs take their partition layout from the trace; the spec's
+        // system keys are re-applied on top of the trace defaults, exactly
+        // how gemsd_bench builds the in-registry config.
+        SystemConfig cfg = make_trace_config(*trace);
+        apply_spec_keys(cfg, spec.keys);
         cfg.obs = obs;
-        out.r = run_trace(cfg, trace);
+        out.r = run_trace(cfg, *trace);
         out.cfg = cfg;
-        for (int f = 0; f < trace.num_files; ++f) {
+        for (int f = 0; f < trace->num_files; ++f) {
           out.names.push_back("F" + std::to_string(f));
         }
       }
@@ -171,7 +199,7 @@ int main(int argc, char** argv) {
     if (csv) {
       print_csv({results[i].r}, results[i].names);
     } else {
-      print_table("gemsd_run: " + spec_files[i], {results[i].r},
+      print_table("gemsd_run: " + jobs_list[i].title, {results[i].r},
                   results[i].names, full);
       std::printf("%s\n",
                   fingerprint_line("run", results[i].cfg).c_str());
