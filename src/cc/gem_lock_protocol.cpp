@@ -2,13 +2,18 @@
 
 namespace gemsd::cc {
 
-sim::Task<void> GemLockProtocol::glt_access(NodeId n) {
+sim::Task<void> GemLockProtocol::glt_access(NodeId n, TxnId txn) {
+  const sim::SimTime t0 = sched().now();
   auto& c = cpu(n);
   co_await c.acquire();
   co_await c.busy(cfg().lock_instr);
   co_await env_.gem->entry_access();  // read the lock entry into main memory
   co_await env_.gem->entry_access();  // Compare&Swap the modified entry back
   c.release();
+  if (metrics().trace) {
+    metrics().trace->span(obs::TraceName::kGemAccess,
+                          static_cast<std::int16_t>(n), txn, t0, sched().now());
+  }
 }
 
 sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
@@ -49,7 +54,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
   }
 
   metrics().lock_local.inc();  // GLT cost is location-independent
-  co_await glt_access(txn.node);
+  co_await glt_access(txn.node, txn.id);
   // A writer invalidates outstanding read authorizations (recorded in the
   // GLT entry it just read) before the lock can be granted.
   if (cfg().gem_read_authorizations && mode == LockMode::Write) {
@@ -62,7 +67,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
   }
   if (res == Logical::GrantedAfterWait) {
     // The woken node re-reads the GLT entry and marks its request granted.
-    co_await glt_access(txn.node);
+    co_await glt_access(txn.node, txn.id);
   }
 
   if (cfg().gem_read_authorizations && mode == LockMode::Read) {
@@ -94,7 +99,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
 
 sim::Task<void> GemLockProtocol::commit_release(node::Txn& txn) {
   for (PageId p : txn.held) {
-    co_await glt_access(txn.node);
+    co_await glt_access(txn.node, txn.id);
     // Version/ownership updates ride in the same Compare&Swap that releases
     // the lock entry.
     bool dirty = false;
@@ -120,7 +125,7 @@ sim::Task<void> GemLockProtocol::commit_release(node::Txn& txn) {
 
 sim::Task<void> GemLockProtocol::abort_release(node::Txn& txn) {
   for (PageId p : txn.held) {
-    co_await glt_access(txn.node);
+    co_await glt_access(txn.node, txn.id);
     releasing_node_ = txn.node;
     table_.release(p, txn.id);
     releasing_node_ = kNoNode;

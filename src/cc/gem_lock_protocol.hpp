@@ -29,8 +29,10 @@ class GemLockProtocol : public Protocol {
 
  private:
   /// One GLT operation: lock-manager instructions plus entry read + C&S
-  /// write-back, processor held throughout.
-  sim::Task<void> glt_access(NodeId n);
+  /// write-back, processor held throughout. `txn` is the transaction the
+  /// access is performed for — recorded on the gem.access trace span so the
+  /// critical-path profiler can see a lock holder's GLT activity.
+  sim::Task<void> glt_access(NodeId n, TxnId txn);
 };
 
 }  // namespace gemsd::cc

@@ -125,6 +125,12 @@ struct SystemConfig {
     /// Chrome trace-event JSON, see docs/observability.md).
     bool trace = false;
     std::size_t trace_capacity = std::size_t{1} << 18;  ///< ring entries
+    /// Regex over event names (obs::to_string(TraceName)); only matching
+    /// events are recorded. "" records everything. Filtered events never
+    /// enter the ring, so they don't contribute to the `dropped` overwrite
+    /// count — the knob that lets long runs keep a complete window of just
+    /// lock/flow/IO events.
+    std::string trace_filter;
     /// Periodic sampler interval in simulated seconds (0 = off). Samples
     /// start at t=0 so warm-up convergence is visible.
     sim::SimTime sample_every = 0.0;

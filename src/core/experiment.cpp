@@ -5,10 +5,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <regex>
 
 #include "obs/fingerprint.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace gemsd {
 
@@ -143,6 +145,15 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
       std::uint64_t cap = 0;
       num_ok = to_u64(v, cap);
       o.trace_capacity = static_cast<std::size_t>(cap);
+    } else if (value_of(a, "--trace-filter", v)) {
+      // Validate here: a bad regex must refuse to start the sweep, not throw
+      // out of a worker thread mid-run.
+      try {
+        (void)obs::trace_name_filter(v);
+      } catch (const std::regex_error&) {
+        return "malformed value in '" + a + "' (not a valid regex)";
+      }
+      o.trace_filter = v;
     } else if (a == "--audit") {
       o.audit = true;
     } else {
@@ -174,6 +185,7 @@ std::string bench_usage() {
       "  --trace=F          Chrome trace-event JSON of one sweep point\n"
       "  --trace-run=I      which sweep point gets traced (default 0)\n"
       "  --trace-capacity=N trace ring-buffer capacity [events]\n"
+      "  --trace-filter=RE  record only events whose name matches the regex\n"
       "  --audit            online invariant auditors (fail fast)\n";
 }
 
@@ -206,6 +218,7 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
                  (cfgs.empty() ? 1 : cfgs.size())) {
       obs.trace = true;
       obs.trace_capacity = opt.trace_capacity;
+      obs.trace_filter = opt.trace_filter;
     }
   }
 }
@@ -273,6 +286,26 @@ void write_metrics_object(obs::JsonWriter& w, const RunResult& r,
   w.kv("io", r.brk_io_ms);
   w.kv("cc", r.brk_cc_ms);
   w.kv("queue", r.brk_queue_ms);
+  w.end_object();
+  // Additive v1 extension: tail percentiles of the response time and of each
+  // breakdown phase (ms). --compare reads only resp_ms/resp_ci_ms/throughput,
+  // so baselines written before this key stay comparable.
+  w.key("percentiles");
+  w.begin_object();
+  const auto pct = [&w](const char* key, const RunResult::Percentiles& p) {
+    w.key(key);
+    w.begin_object();
+    w.kv("p50", p.p50);
+    w.kv("p95", p.p95);
+    w.kv("p99", p.p99);
+    w.end_object();
+  };
+  pct("response_ms", r.pct_resp);
+  pct("cpu_ms", r.pct_cpu);
+  pct("cpu_wait_ms", r.pct_cpu_wait);
+  pct("io_ms", r.pct_io);
+  pct("cc_ms", r.pct_cc);
+  pct("queue_ms", r.pct_queue);
   w.end_object();
   w.end_object();
 }
@@ -375,6 +408,7 @@ std::string write_bench_json(const std::string& bench,
   w.kv("sample_every", opt.sample_every);
   w.kv("slow_k", static_cast<std::int64_t>(opt.slow_k));
   w.kv("audit", opt.audit);
+  w.kv("trace_filter", opt.trace_filter);
   w.end_object();
   w.key("partitions");
   w.begin_array();

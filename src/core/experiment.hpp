@@ -38,6 +38,9 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///   --trace=F          Chrome trace-event JSON of one sweep point
 ///   --trace-run=I      which sweep point gets traced (default 0)
 ///   --trace-capacity=N trace ring-buffer capacity [events]
+///   --trace-filter=RE  record only events whose name matches the regex
+///                      (filtered events never enter the ring, so they don't
+///                      count as dropped)
 ///   --audit            online invariant auditors (fail fast on violation)
 struct BenchOptions {
   double warmup = 5.0;
@@ -54,6 +57,7 @@ struct BenchOptions {
   std::string trace_file;
   int trace_run = 0;
   std::size_t trace_capacity = std::size_t{1} << 18;
+  std::string trace_filter;  ///< regex on event names ("" = everything)
   bool audit = false;
 };
 /// Parse the shared flags into `o`. Returns "" on success, or an error

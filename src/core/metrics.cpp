@@ -19,6 +19,11 @@ void Metrics::reset() {
   breakdown_io = {};
   breakdown_cc = {};
   breakdown_queue = {};
+  breakdown_cpu_hist.reset();
+  breakdown_cpu_wait_hist.reset();
+  breakdown_io_hist.reset();
+  breakdown_cc_hist.reset();
+  breakdown_queue_hist.reset();
   for (auto& c : hits) c.reset();
   for (auto& c : misses) c.reset();
   for (auto& c : invalidations_by_partition) c.reset();

@@ -38,6 +38,10 @@ class Metrics {
   sim::MeanStat mpl_wait;
   sim::MeanStat breakdown_cpu, breakdown_cpu_wait, breakdown_io, breakdown_cc,
       breakdown_queue;
+  /// Per-phase histograms, fed the same per-commit seconds as breakdown_*;
+  /// back the p50/p95/p99 phase percentiles in the results export.
+  sim::Histogram breakdown_cpu_hist, breakdown_cpu_wait_hist,
+      breakdown_io_hist, breakdown_cc_hist, breakdown_queue_hist;
 
   // --- buffer & coherency ---
   std::vector<sim::Counter> hits, misses;   ///< per partition (all nodes)

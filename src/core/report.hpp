@@ -61,6 +61,15 @@ struct RunResult {
   double brk_cpu_ms = 0, brk_cpu_wait_ms = 0, brk_io_ms = 0, brk_cc_ms = 0,
          brk_queue_ms = 0;
 
+  /// p50/p95/p99 of one per-transaction distribution (ms), read off a
+  /// sim::Histogram — response time plus each breakdown phase. Exported in
+  /// the "percentiles" object of gemsd.results.v1 (additive; --compare
+  /// ignores it, so committed baselines stay green).
+  struct Percentiles {
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+  Percentiles pct_resp, pct_cpu, pct_cpu_wait, pct_io, pct_cc, pct_queue;
+
   /// Full observability payload (detail metrics, sampler time series,
   /// slow-transaction log, trace events). Shared so results stay cheap to
   /// copy through sweeps; null unless System::collect() produced one.

@@ -38,6 +38,9 @@ System::System(const SystemConfig& cfg, Workload wl)
   // table's trace hooks.
   if (cfg_.obs.trace) {
     trace_ = std::make_unique<obs::TraceRecorder>(cfg_.obs.trace_capacity);
+    if (!cfg_.obs.trace_filter.empty()) {
+      trace_->set_filter(obs::trace_name_filter(cfg_.obs.trace_filter));
+    }
     metrics_.trace = trace_.get();
     comm_->set_trace(trace_.get());
   }
@@ -357,6 +360,20 @@ RunResult System::collect() const {
   r.brk_io_ms = metrics_.breakdown_io.mean() * 1e3;
   r.brk_cc_ms = metrics_.breakdown_cc.mean() * 1e3;
   r.brk_queue_ms = metrics_.breakdown_queue.mean() * 1e3;
+
+  const auto pct = [](const sim::Histogram& h) {
+    RunResult::Percentiles p;
+    p.p50 = h.quantile(0.50) * 1e3;
+    p.p95 = h.quantile(0.95) * 1e3;
+    p.p99 = h.quantile(0.99) * 1e3;
+    return p;
+  };
+  r.pct_resp = pct(metrics_.response_hist);
+  r.pct_cpu = pct(metrics_.breakdown_cpu_hist);
+  r.pct_cpu_wait = pct(metrics_.breakdown_cpu_wait_hist);
+  r.pct_io = pct(metrics_.breakdown_io_hist);
+  r.pct_cc = pct(metrics_.breakdown_cc_hist);
+  r.pct_queue = pct(metrics_.breakdown_queue_hist);
 
   // Full telemetry payload: a flat dump of every Metrics field and every
   // Resource's utilization/queue/completion stats (fixed order — the JSON

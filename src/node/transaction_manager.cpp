@@ -227,6 +227,11 @@ sim::Task<void> TransactionManager::run(Txn txn) {
   metrics_.breakdown_io.add(txn.t_io);
   metrics_.breakdown_cc.add(txn.t_cc);
   metrics_.breakdown_queue.add(txn.t_queue);
+  metrics_.breakdown_cpu_hist.add(txn.t_cpu);
+  metrics_.breakdown_cpu_wait_hist.add(txn.t_cpu_wait);
+  metrics_.breakdown_io_hist.add(txn.t_io);
+  metrics_.breakdown_cc_hist.add(txn.t_cc);
+  metrics_.breakdown_queue_hist.add(txn.t_queue);
 
   if (metrics_.audit) {
     auto* au = metrics_.audit;

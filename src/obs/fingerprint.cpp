@@ -109,6 +109,12 @@ std::string config_json(const SystemConfig& cfg) {
   w.begin_object();
   w.kv("trace", cfg.obs.trace);
   w.kv("trace_capacity", static_cast<std::uint64_t>(cfg.obs.trace_capacity));
+  // Only when set: the canonical (default-obs) serialization must keep its
+  // exact bytes, or every config_hash — and the committed baselines keyed on
+  // them — would shift.
+  if (!cfg.obs.trace_filter.empty()) {
+    w.kv("trace_filter", cfg.obs.trace_filter);
+  }
   w.kv("sample_every", cfg.obs.sample_every);
   w.kv("slow_k", static_cast<std::int64_t>(cfg.obs.slow_k));
   w.kv("audit", cfg.obs.audit);

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <map>
+#include <regex>
 #include <set>
 #include <unordered_map>
 
@@ -27,6 +28,7 @@ const char* to_string(TraceName n) {
     case TraceName::kDeadlock: return "deadlock";
     case TraceName::kWaitEdge: return "wait.edge";
     case TraceName::kLockGrant: return "lock.grant";
+    case TraceName::kGemAccess: return "gem.access";
     case TraceName::kCommit: return "commit";
     case TraceName::kPhaseCpu: return "phase.cpu";
     case TraceName::kPhaseCpuWait: return "phase.cpu_wait";
@@ -61,6 +63,7 @@ const char* category(TraceName n) {
     case TraceName::kDeadlock:
     case TraceName::kWaitEdge:
     case TraceName::kLockGrant:
+    case TraceName::kGemAccess:
       return "cc";
     case TraceName::kIoRead:
     case TraceName::kIoWrite:
@@ -72,6 +75,20 @@ const char* category(TraceName n) {
     default:
       return "sampler";
   }
+}
+
+std::array<bool, static_cast<std::size_t>(TraceName::kCount)>
+trace_name_filter(const std::string& pattern) {
+  std::array<bool, static_cast<std::size_t>(TraceName::kCount)> mask;
+  if (pattern.empty()) {
+    mask.fill(true);
+    return mask;
+  }
+  const std::regex re(pattern);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = std::regex_search(to_string(static_cast<TraceName>(i)), re);
+  }
+  return mask;
 }
 
 namespace {
@@ -306,6 +323,12 @@ std::string chrome_trace_json(
         if (e.kind == TraceKind::FlowEnd) w.kv("bp", "e");
         w.key("id");
         w.value(e.id);
+        // Long-message flag (only when set, so short-message flows keep their
+        // golden byte shape); lets the importer round-trip flows losslessly.
+        if (e.value != 0.0) {
+          w.key("v");
+          w.value(e.value);
+        }
         w.end_object();
         break;
       }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -40,6 +42,9 @@ enum class TraceName : std::uint8_t {
   kLockGrant,    ///< waiting lock request granted (instant, value = page);
                  ///< emitted at the LOGICAL grant — the kLockWait span is
                  ///< only recorded once the (possibly remote) waiter resumes
+  kGemAccess,    ///< one GLT operation in GEM (entry read + C&S write-back,
+                 ///< processor held); makes a lock holder's GLT activity
+                 ///< visible to the critical-path profiler
   kCommit,       ///< commit point (instant)
   // per-transaction phase totals (merged into the txn span's args by the
   // exporter; values are the exact seconds added to Metrics::breakdown_*)
@@ -65,6 +70,13 @@ const char* to_string(TraceName n);
 /// Chrome trace "cat" field for the event name ("txn", "cc", "io", "net",
 /// "sampler").
 const char* category(TraceName n);
+
+/// Per-name enable mask for --trace-filter: true where `pattern` (an ECMAScript
+/// regex, matched with regex_search against to_string(name)) hits. The empty
+/// pattern enables everything. Throws std::regex_error on a malformed pattern —
+/// CLI front ends validate at parse time.
+std::array<bool, static_cast<std::size_t>(TraceName::kCount)>
+trace_name_filter(const std::string& pattern);
 
 enum class TraceKind : std::uint8_t {
   Span,        ///< t = start, dur = duration
@@ -108,7 +120,19 @@ class TraceRecorder {
     buf_.reserve(capacity_);
   }
 
+  /// Restrict recording to the names enabled in `mask` (see
+  /// trace_name_filter). Filtered events are never stored, so they neither
+  /// occupy ring slots nor show up in the `dropped` overwrite count — a tight
+  /// filter is how long runs keep a complete window of just the interesting
+  /// events.
+  void set_filter(
+      const std::array<bool, static_cast<std::size_t>(TraceName::kCount)>&
+          mask) {
+    enabled_ = mask;
+  }
+
   void record(const TraceEvent& e) {
+    if (!enabled_[static_cast<std::size_t>(e.name)]) return;
     if (buf_.size() < capacity_) {
       buf_.push_back(e);
       return;
@@ -164,10 +188,20 @@ class TraceRecorder {
   }
 
  private:
+  static constexpr std::size_t kNames =
+      static_cast<std::size_t>(TraceName::kCount);
+
+  static std::array<bool, kNames> all_enabled() {
+    std::array<bool, kNames> m;
+    m.fill(true);
+    return m;
+  }
+
   std::size_t capacity_;
   std::vector<TraceEvent> buf_;
   std::size_t head_ = 0;  ///< oldest element once the ring has wrapped
   std::uint64_t dropped_ = 0;
+  std::array<bool, kNames> enabled_ = all_enabled();
 };
 
 }  // namespace gemsd::obs

@@ -52,6 +52,46 @@ TEST(HistogramEdge, ResetRestoresEmptyBehaviour) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(HistogramEdge, SingleSampleInterpolatesWithinItsBucket) {
+  // [1, 16) in 4 geometric buckets: edges 1, 2, 4, 8, 16. One sample at 3
+  // lands in [2, 4); every quantile interpolates across that bucket alone.
+  sim::Histogram h(1.0, 16.0, 4);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 3.0, 1e-9);   // 2 + 0.5 * (4 - 2)
+  EXPECT_NEAR(h.quantile(0.25), 2.5, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 4.0, 1e-9);   // upper bucket edge
+}
+
+TEST(HistogramEdge, UnderflowInterpolatesToLowerBound) {
+  // Samples below `lo` collect in the underflow bucket, whose quantile
+  // interpolates linearly from 0 to lo.
+  sim::Histogram h(1.0, 16.0, 4);
+  h.add(0.125);
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 1e-12);  // lo * frac
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 1e-12);
+}
+
+TEST(HistogramEdge, OverflowLandsAboveHi) {
+  // Samples at or beyond `hi` collect in the overflow bucket [16, 32); the
+  // quantile can exceed hi but never returns garbage.
+  sim::Histogram h(1.0, 16.0, 4);
+  h.add(200.0);
+  EXPECT_GE(h.quantile(0.01), 16.0 - 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 24.0, 1e-9);  // 16 + 0.5 * (32 - 16)
+}
+
+TEST(HistogramEdge, BucketBoundaryInterpolation) {
+  // Two samples in adjacent buckets: the median exhausts the first bucket
+  // exactly (frac = 1 -> its upper edge); q = 0.75 is halfway through the
+  // second.
+  sim::Histogram h(1.0, 16.0, 4);
+  h.add(1.5);  // [1, 2)
+  h.add(3.0);  // [2, 4)
+  EXPECT_NEAR(h.quantile(0.5), 2.0, 1e-9);
+  EXPECT_NEAR(h.quantile(0.75), 3.0, 1e-9);
+}
+
 TEST(BatchMeansEdge, NoSamplesGivesZeroMeanAndZeroHalfWidth) {
   sim::BatchMeans bm(10);
   EXPECT_EQ(bm.batches(), 0u);

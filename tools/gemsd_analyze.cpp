@@ -10,6 +10,16 @@
 //       replayed cycle count with the deadlock counter); a mismatch on a
 //       complete trace (no ring drops) exits 1.
 //
+//   gemsd_analyze <trace.json> --critical-path[=FILE] [--top=K]
+//       Critical-path profile instead of the attribution report: every second
+//       of each committed transaction's response time classified (lock waits
+//       resolved to the holder's concurrent activity, message gaps, restart
+//       backoff) plus tail cohorts from the response-time percentiles. With
+//       =FILE the "gemsd.critpath.v1" document is also written (validate with
+//       gemsd_validate schemas/critpath.schema.json). On a complete trace
+//       (no ring drops) fewer than 99% of transactions reconciling within 1%
+//       of their traced response exits 1.
+//
 //   gemsd_analyze --compare <baseline.json> <candidate.json> [--tolerance=T]
 //       Diff two results documents run by run (matched on config hash +
 //       label + name). A throughput or response-time regression beyond the
@@ -25,6 +35,7 @@
 #include <string>
 
 #include "obs/analyze.hpp"
+#include "obs/critpath.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -50,6 +61,7 @@ int usage() {
       stderr,
       "usage: gemsd_analyze <trace.json> [--results=FILE] [--run=I]\n"
       "                     [--top=K] [--tolerance=T]\n"
+      "       gemsd_analyze <trace.json> --critical-path[=FILE] [--top=K]\n"
       "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
       "                     [--tolerance=T]\n");
   return 2;
@@ -79,6 +91,8 @@ int main(int argc, char** argv) {
   std::string trace_path, results_path;
   std::string compare_base, compare_cand;
   bool compare = false;
+  bool critpath = false;
+  std::string critpath_file;
   int run_index = 0;
   int top_k = 10;
   double tolerance = -1.0;  // mode-specific default
@@ -87,6 +101,11 @@ int main(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--compare") == 0) {
       compare = true;
+    } else if (std::strcmp(a, "--critical-path") == 0) {
+      critpath = true;
+    } else if (std::strncmp(a, "--critical-path=", 16) == 0) {
+      critpath = true;
+      critpath_file = a + 16;
     } else if (std::strncmp(a, "--results=", 10) == 0) {
       results_path = a + 10;
     } else if (std::strncmp(a, "--run=", 6) == 0) {
@@ -125,6 +144,34 @@ int main(int argc, char** argv) {
   if (!obs::parse_chrome_trace(doc, events, dropped, error)) {
     std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(), error.c_str());
     return 2;
+  }
+
+  if (critpath) {
+    const obs::CritPathAnalysis cp = obs::critical_path(events, dropped);
+    std::fputs(obs::format_critical_path(cp, top_k).c_str(), stdout);
+    if (!critpath_file.empty()) {
+      std::ofstream out(critpath_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     critpath_file.c_str());
+        return 2;
+      }
+      out << obs::critical_path_json(cp) << "\n";
+      std::printf("wrote %s\n", critpath_file.c_str());
+    }
+    // On a complete trace the per-class seconds must reconcile with the
+    // traced response for (essentially) every transaction; with ring drops
+    // the profile is advisory only.
+    if (dropped == 0 && cp.txns > 0 &&
+        static_cast<double>(cp.txns_within_tol) <
+            0.99 * static_cast<double>(cp.txns)) {
+      std::fprintf(stderr,
+                   "error: only %llu/%llu txns reconcile within 1%%\n",
+                   static_cast<unsigned long long>(cp.txns_within_tol),
+                   static_cast<unsigned long long>(cp.txns));
+      return 1;
+    }
+    return 0;
   }
 
   const obs::TraceAnalysis analysis = obs::analyze_trace(events, dropped);

@@ -3,7 +3,7 @@
 //
 //   ./gemsd_run spec.ini [more-specs.ini ...] [--csv] [--full] [--jobs=N]
 //              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
-//              [--sample=S] [--slow-k=K] [--audit]
+//              [--trace-filter=RE] [--sample=S] [--slow-k=K] [--audit]
 //
 // A spec holds either a single configuration or a whole sweep (one [run]
 // section per point — the format gemsd_bench --export-spec writes; see
@@ -19,12 +19,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <regex>
 #include <string>
 #include <vector>
 
 #include "core/config_file.hpp"
 #include "core/experiment.hpp"
 #include "core/sweep.hpp"
+#include "obs/trace.hpp"
 #include "workload/trace_generator.hpp"
 
 int main(int argc, char** argv) {
@@ -53,6 +55,14 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace-capacity=", 17) == 0) {
       obs_opt.trace_capacity =
           static_cast<std::size_t>(std::atoll(argv[i] + 17));
+    } else if (std::strncmp(argv[i], "--trace-filter=", 15) == 0) {
+      obs_opt.trace_filter = argv[i] + 15;
+      try {
+        (void)obs::trace_name_filter(obs_opt.trace_filter);
+      } catch (const std::regex_error&) {
+        std::fprintf(stderr, "error: --trace-filter is not a valid regex\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--sample=", 9) == 0) {
       obs_opt.sample_every = std::atof(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--slow-k=", 9) == 0) {
@@ -67,8 +77,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: gemsd_run <spec.ini> [more-specs.ini ...] "
                  "[--csv] [--full] [--jobs=N] [--metrics-json=FILE] "
-                 "[--trace=FILE] [--trace-run=I] [--sample=S] "
-                 "[--slow-k=K] [--audit]\n");
+                 "[--trace=FILE] [--trace-run=I] [--trace-filter=RE] "
+                 "[--sample=S] [--slow-k=K] [--audit]\n");
     return 1;
   }
 
@@ -141,6 +151,7 @@ int main(int argc, char** argv) {
                   jobs_list.size()) {
       obs.trace = true;
       obs.trace_capacity = obs_opt.trace_capacity;
+      obs.trace_filter = obs_opt.trace_filter;
     }
     std::shared_ptr<const workload::Trace> trace;
     if (spec.kind == RunSpec::Kind::Trace) {
