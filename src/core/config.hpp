@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "sim/engine_kind.hpp"
 #include "sim/time.hpp"
 
 namespace gemsd {
@@ -117,6 +118,15 @@ struct SystemConfig {
 
   /// Restart back-off after a deadlock abort.
   sim::SimTime restart_delay = sim::msec(10);
+
+  /// Event-kernel execution backend (sim/engine.hpp). Pure execution
+  /// policy: results are identical for every kind and worker count, so —
+  /// like ObsConfig — none of these fields enter config_json, config_hash,
+  /// or exported specs.
+  struct EngineConfig {
+    sim::EngineKind kind = sim::EngineKind::Sequential;
+    int workers = 0;  ///< parallel worker threads (0 = hardware_concurrency)
+  } engine;
 
   /// Observability (src/obs): pure observation — none of these settings
   /// change simulation results, only what gets recorded about them.

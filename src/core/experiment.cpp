@@ -156,6 +156,17 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
       o.trace_filter = v;
     } else if (a == "--audit") {
       o.audit = true;
+    } else if (value_of(a, "--engine", v)) {
+      if (v == "sequential") {
+        o.engine = sim::EngineKind::Sequential;
+      } else if (v == "parallel") {
+        o.engine = sim::EngineKind::Parallel;
+      } else {
+        return "malformed value in '" + a +
+               "' (expected sequential or parallel)";
+      }
+    } else if (value_of(a, "--engine-workers", v)) {
+      num_ok = to_int(v, o.engine_workers);
     } else {
       // Catches typos ("--job=4"), unknown flags, and the space form
       // ("--warmup 5", which arrives as a bare "--warmup" plus a stray
@@ -186,7 +197,10 @@ std::string bench_usage() {
       "  --trace-run=I      which sweep point gets traced (default 0)\n"
       "  --trace-capacity=N trace ring-buffer capacity [events]\n"
       "  --trace-filter=RE  record only events whose name matches the regex\n"
-      "  --audit            online invariant auditors (fail fast)\n";
+      "  --audit            online invariant auditors (fail fast)\n"
+      "  --engine=K         event kernel: sequential (default) or parallel;\n"
+      "                     results are identical either way\n"
+      "  --engine-workers=N parallel-engine threads per run (0 = hw conc.)\n";
 }
 
 BenchOptions parse_bench_args(int argc, char** argv) {
@@ -208,6 +222,8 @@ std::vector<std::string> debit_credit_partition_names() {
 void apply_obs_options(std::vector<SystemConfig>& cfgs,
                        const BenchOptions& opt) {
   for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    cfgs[i].engine.kind = opt.engine;
+    cfgs[i].engine.workers = opt.engine_workers;
     auto& obs = cfgs[i].obs;
     obs.sample_every = opt.sample_every;
     obs.slow_k = opt.slow_k;
@@ -409,6 +425,10 @@ std::string write_bench_json(const std::string& bench,
   w.kv("slow_k", static_cast<std::int64_t>(opt.slow_k));
   w.kv("audit", opt.audit);
   w.kv("trace_filter", opt.trace_filter);
+  w.kv("engine", opt.engine == sim::EngineKind::Parallel
+                     ? "parallel"
+                     : "sequential");
+  w.kv("engine_workers", static_cast<std::int64_t>(opt.engine_workers));
   w.end_object();
   w.key("partitions");
   w.begin_array();

@@ -59,6 +59,10 @@ struct BenchOptions {
   std::size_t trace_capacity = std::size_t{1} << 18;
   std::string trace_filter;  ///< regex on event names ("" = everything)
   bool audit = false;
+  /// Event-kernel backend (sim/engine.hpp). Pure execution policy: results
+  /// are identical for both kinds and any worker count.
+  sim::EngineKind engine = sim::EngineKind::Sequential;
+  int engine_workers = 0;  ///< parallel workers per run (0 = hw concurrency)
 };
 /// Parse the shared flags into `o`. Returns "" on success, or an error
 /// message for an unknown flag or a malformed value ("--warmup 5" space
@@ -78,9 +82,10 @@ BenchOptions parse_bench_args(int argc, char** argv);
 /// Names of the debit-credit partitions (report columns).
 std::vector<std::string> debit_credit_partition_names();
 
-/// Stamp the observability options on every config of a sweep: sampler and
-/// slow-transaction log on all points, the trace ring only on the
-/// --trace-run point (and only when --trace was given).
+/// Stamp the result-neutral options on every config of a sweep: the engine
+/// backend on all points; sampler and slow-transaction log on all points;
+/// the trace ring only on the --trace-run point (and only when --trace was
+/// given).
 void apply_obs_options(std::vector<SystemConfig>& cfgs,
                        const BenchOptions& opt);
 

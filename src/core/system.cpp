@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "cc/gem_lock_protocol.hpp"
@@ -11,6 +12,8 @@ namespace gemsd {
 
 System::System(const SystemConfig& cfg, Workload wl)
     : cfg_(cfg),
+      engine_(cfg.engine.kind, cfg.engine.workers),
+      sched_(engine_.add_lp("system").sched()),
       rng_(cfg.seed),
       metrics_(cfg.partitions.size(),
                static_cast<std::size_t>(wl.gen ? wl.gen->num_types() : 1)),
@@ -287,11 +290,19 @@ void System::reset_stats() {
   slow_log_.clear();
 }
 
+void System::run_until(sim::SimTime t) {
+  const auto t0 = std::chrono::steady_clock::now();
+  run_events_ += engine_.run_until(t);
+  run_wall_s_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
 RunResult System::run() {
   start_source();
-  sched_.run_until(cfg_.warmup);
+  run_until(cfg_.warmup);
   reset_stats();
-  sched_.run_until(cfg_.warmup + cfg_.measure);
+  run_until(cfg_.warmup + cfg_.measure);
   return collect();
 }
 
@@ -483,6 +494,29 @@ RunResult System::collect() const {
     add(pre + ".writes", static_cast<double>(g.writes()));
   }
   add("sched.queued_events", static_cast<double>(sched_.queued_events()));
+
+  // Engine self-metrics (sim/engine.hpp). Everything except wall_events_per_s
+  // is a property of the schedule: identical for every engine kind and worker
+  // count. Additive only — `gemsd_analyze --compare` ignores detail keys.
+  {
+    const sim::EngineStats es = engine_.stats();
+    add("engine.lps", static_cast<double>(es.lp_events.size()));
+    add("engine.workers", static_cast<double>(engine_.workers()));
+    add("engine.windows", static_cast<double>(es.windows));
+    add("engine.degenerate_windows",
+        static_cast<double>(es.degenerate_windows));
+    add("engine.messages", static_cast<double>(es.messages));
+    add("engine.events", static_cast<double>(es.events));
+    add("engine.max_queue_depth", static_cast<double>(es.max_queue_depth));
+    for (std::size_t i = 0; i < es.lp_events.size(); ++i) {
+      add("engine.lp" + std::to_string(i) + ".events",
+          static_cast<double>(es.lp_events[i]));
+    }
+    if (run_wall_s_ > 0) {
+      add("engine.wall_events_per_s",
+          static_cast<double>(run_events_) / run_wall_s_);
+    }
+  }
 
   tel->samples = samples_;
   tel->slowest = slow_log_.sorted();

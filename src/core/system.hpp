@@ -16,6 +16,7 @@
 #include "node/cpu.hpp"
 #include "node/log_manager.hpp"
 #include "node/transaction_manager.hpp"
+#include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/gem_device.hpp"
@@ -45,11 +46,12 @@ class System {
 
   /// Advance the simulation only (tests drive phases manually).
   void start_source();
-  void run_until(sim::SimTime t) { sched_.run_until(t); }
+  void run_until(sim::SimTime t);
   void reset_stats();
   RunResult collect() const;
 
   // component access (tests, examples)
+  sim::Engine& engine() { return engine_; }
   sim::Scheduler& scheduler() { return sched_; }
   sim::Rng& rng() { return rng_; }
   Metrics& metrics() { return metrics_; }
@@ -93,7 +95,15 @@ class System {
   sim::Task<void> sampler();
 
   SystemConfig cfg_;
-  sim::Scheduler sched_;
+  /// The event kernel. The whole cluster model shares one sim::Rng consumed
+  /// in global event order, and its GEM/CPU interactions are synchronous
+  /// (zero lookahead — the defining property of close coupling), so the
+  /// model is a single logical process: sched_ aliases that LP's scheduler
+  /// and the engine degenerates to one inclusive window per run_until. The
+  /// engine still owns execution so the backend (and its self-metrics) is
+  /// uniform across single- and multi-LP models; see DESIGN.md.
+  sim::Engine engine_;
+  sim::Scheduler& sched_;
   sim::Rng rng_;
   Metrics metrics_;
   std::unique_ptr<storage::GemDevice> gem_;
@@ -112,6 +122,8 @@ class System {
   obs::SlowTxnLog slow_log_;
   std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;
+  double run_wall_s_ = 0;          ///< wall-clock spent inside run_until
+  std::uint64_t run_events_ = 0;   ///< events processed by those calls
   bool source_started_ = false;
   bool stats_reset_ = false;  ///< samples before the first reset are warm-up
   std::uint64_t recovery_ids_ = 0;

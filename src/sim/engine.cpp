@@ -1,0 +1,265 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gemsd::sim {
+
+namespace {
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+}
+
+void Lp::post(LpId dst, SimTime t, std::function<void()> fn) {
+  const SimTime la = engine_->edge_lookahead(id_, dst);
+  if (!(t >= sched_.now() + la)) {
+    throw std::logic_error(
+        "Lp::post: " + name_ + " -> lp " + std::to_string(dst) +
+        " violates its registered lookahead (t < now + lookahead); the "
+        "conservative horizon would be unsound");
+  }
+  outbox_.push_back(Out{dst, LpMessage{t, id_, out_seq_++, std::move(fn)}});
+}
+
+Engine::Engine(EngineKind kind, int workers) : kind_(kind) {
+  if (kind_ == EngineKind::Parallel) {
+    if (workers <= 0) {
+      workers = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    workers_ = std::max(1, workers);
+  } else {
+    workers_ = 1;
+  }
+  // Worker threads beyond the coordinator; the coordinator always
+  // participates in draining a window, so workers_ == 1 needs no pool.
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+}
+
+Lp& Engine::add_lp(std::string name) {
+  const std::size_t n = lps_.size() + 1;
+  lps_.emplace_back(new Lp(this, static_cast<LpId>(lps_.size()),
+                           std::move(name)));
+  // Grow the edge matrix, preserving registered entries.
+  std::vector<SimTime> grown(n * n,
+                             std::numeric_limits<SimTime>::quiet_NaN());
+  for (std::size_t s = 0; s + 1 < n; ++s) {
+    for (std::size_t d = 0; d + 1 < n; ++d) {
+      grown[s * n + d] = lookahead_[s * (n - 1) + d];
+    }
+  }
+  lookahead_ = std::move(grown);
+  min_lookahead_cache_ = -1.0;
+  return *lps_.back();
+}
+
+void Engine::set_lookahead(LpId src, LpId dst, SimTime la) {
+  const auto n = lps_.size();
+  if (src < 0 || dst < 0 || static_cast<std::size_t>(src) >= n ||
+      static_cast<std::size_t>(dst) >= n) {
+    throw std::out_of_range("Engine::set_lookahead: no such LP");
+  }
+  if (!(la >= 0.0)) {
+    throw std::invalid_argument("Engine::set_lookahead: negative lookahead");
+  }
+  lookahead_[static_cast<std::size_t>(src) * n +
+             static_cast<std::size_t>(dst)] = la;
+  min_lookahead_cache_ = -1.0;
+}
+
+SimTime Engine::edge_lookahead(LpId src, LpId dst) const {
+  const auto n = lps_.size();
+  if (dst < 0 || static_cast<std::size_t>(dst) >= n) {
+    throw std::out_of_range("Lp::post: no such destination LP");
+  }
+  const SimTime la = lookahead_[static_cast<std::size_t>(src) * n +
+                                static_cast<std::size_t>(dst)];
+  if (std::isnan(la)) {
+    throw std::logic_error(
+        "Lp::post: edge " + std::to_string(src) + " -> " +
+        std::to_string(dst) +
+        " has no registered lookahead (Engine::set_lookahead)");
+  }
+  return la;
+}
+
+SimTime Engine::min_lookahead() const {
+  if (min_lookahead_cache_ >= 0.0) return min_lookahead_cache_;
+  SimTime m = kInf;
+  for (const SimTime la : lookahead_) {
+    if (!std::isnan(la)) m = std::min(m, la);
+  }
+  min_lookahead_cache_ = m;
+  return m;
+}
+
+void Engine::route_outboxes() {
+  staged_.clear();
+  for (auto& lp : lps_) {
+    if (lp->outbox_.empty()) continue;
+    staged_.insert(staged_.end(),
+                   std::make_move_iterator(lp->outbox_.begin()),
+                   std::make_move_iterator(lp->outbox_.end()));
+    lp->outbox_.clear();
+  }
+  if (staged_.empty()) return;
+  // (t, src, seq) is a strict total order (seq is per-source), so the
+  // delivery order — and each destination's schedule_call FIFO tie-break —
+  // is independent of which worker filled which outbox when.
+  std::sort(staged_.begin(), staged_.end(),
+            [](const Lp::Out& a, const Lp::Out& b) {
+              if (a.msg.t != b.msg.t) return a.msg.t < b.msg.t;
+              if (a.msg.src != b.msg.src) return a.msg.src < b.msg.src;
+              return a.msg.seq < b.msg.seq;
+            });
+  messages_ += staged_.size();
+  for (auto& s : staged_) {
+    lps_[static_cast<std::size_t>(s.dst)]->sched_.schedule_call(
+        s.msg.t, std::move(s.msg.fn));
+  }
+  staged_.clear();
+}
+
+void Engine::drain_ready() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= ready_.size()) return;
+    Scheduler& s = ready_[i]->sched_;
+    if (window_inclusive_) {
+      s.run_until(window_bound_);
+    } else {
+      s.run_before(window_bound_);
+    }
+  }
+}
+
+void Engine::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    try {
+      drain_ready();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (--active_ == 0) cv_done_.notify_one();
+  }
+}
+
+void Engine::run_ready(SimTime bound, bool inclusive) {
+  ready_.clear();
+  for (auto& lp : lps_) {
+    const SimTime nt = lp->sched_.next_time();
+    if (inclusive ? nt <= bound : nt < bound) ready_.push_back(lp.get());
+  }
+  if (ready_.empty()) return;
+  window_bound_ = bound;
+  window_inclusive_ = inclusive;
+  next_.store(0, std::memory_order_relaxed);
+  if (threads_.empty() || ready_.size() == 1) {
+    drain_ready();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++epoch_;
+    active_ = static_cast<int>(threads_.size());
+  }
+  cv_start_.notify_all();
+  try {
+    drain_ready();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!worker_error_) worker_error_ = std::current_exception();
+  }
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] { return active_ == 0; });
+  if (worker_error_) {
+    std::exception_ptr e = worker_error_;
+    worker_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t Engine::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& lp : lps_) n += lp->sched_.events_processed();
+  return n;
+}
+
+std::uint64_t Engine::run_until(SimTime end) {
+  const std::uint64_t before = total_events();
+  for (;;) {
+    route_outboxes();
+    SimTime t_min = kInf;
+    for (const auto& lp : lps_) {
+      t_min = std::min(t_min, lp->sched_.next_time());
+    }
+    if (t_min > end) break;  // also: every queue empty (t_min == inf)
+    ++windows_;
+    const SimTime horizon = t_min + min_lookahead();
+    if (horizon > end) {
+      // Everything up to `end` is already safe: one final inclusive window
+      // (messages produced here arrive at >= horizon > end). With a single
+      // LP — or no registered edges at all — this is the only window, and
+      // the engine adds nothing to plain Scheduler::run_until.
+      run_ready(end, true);
+    } else if (horizon <= t_min) {
+      // A zero-lookahead edge (or one below the floating-point resolution
+      // of t_min) leaves no safe window. Degenerate to one serialized step:
+      // the globally minimal (next event time, LpId) process runs events at
+      // exactly t_min; everyone else waits for the barrier.
+      ++degenerate_windows_;
+      Lp* pick = nullptr;
+      SimTime best = kInf;
+      for (const auto& lp : lps_) {
+        const SimTime nt = lp->sched_.next_time();
+        if (nt < best) {
+          best = nt;
+          pick = lp.get();
+        }
+      }
+      pick->sched_.run_until(best);
+    } else {
+      run_ready(horizon, false);
+    }
+  }
+  // Advance every LP clock to end (no events remain at or below it).
+  for (auto& lp : lps_) lp->sched_.run_until(end);
+  return total_events() - before;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.windows = windows_;
+  s.degenerate_windows = degenerate_windows_;
+  s.messages = messages_;
+  for (const auto& lp : lps_) {
+    s.lp_events.push_back(lp->sched_.events_processed());
+    s.events += lp->sched_.events_processed();
+    s.max_queue_depth = std::max(s.max_queue_depth, lp->sched_.max_queued());
+  }
+  return s;
+}
+
+}  // namespace gemsd::sim

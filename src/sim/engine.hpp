@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/engine_kind.hpp"
+#include "sim/lp.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+/// Counters the engine keeps about its own execution. Everything here is a
+/// property of the schedule, not the model: identical for Sequential and
+/// Parallel kinds and for any worker count.
+struct EngineStats {
+  std::uint64_t windows = 0;      ///< safe windows executed (= barrier count)
+  std::uint64_t degenerate_windows = 0;  ///< zero-lookahead serialized steps
+  std::uint64_t messages = 0;     ///< cross-LP messages routed at barriers
+  std::uint64_t events = 0;       ///< events processed across all LPs
+  std::size_t max_queue_depth = 0;  ///< per-LP event-queue high-water mark
+  std::vector<std::uint64_t> lp_events;  ///< events processed, by LpId
+};
+
+/// Conservative parallel discrete-event engine: a set of logical processes
+/// (each wrapping its own Scheduler, see sim/lp.hpp) advanced in lockstep
+/// safe windows.
+///
+/// Window protocol. Let T = min over LPs of their next event time and L =
+/// min lookahead over the registered cross-LP edges (infinity when there are
+/// none — in particular for a single LP, which therefore runs at full
+/// sequential speed in one window). Every message an LP posts while at local
+/// time u >= T arrives at t >= u + lookahead(edge) >= T + L, so all events
+/// strictly before the horizon H = T + L are causally independent across
+/// LPs: each LP may process its own queue up to H with no further
+/// coordination. At the barrier the outboxes are merged — sorted by
+/// (t, src, seq), a strict total order — and delivered, making the schedule
+/// (and therefore every simulation result) a pure function of the model:
+/// identical for the Sequential and Parallel kinds and for any worker count.
+///
+/// A zero-lookahead edge collapses the window (H <= T). The engine then
+/// degenerates to one serialized step: only the LP with the smallest
+/// (next event time, LpId) runs, and only to exactly T — slow but still
+/// correct and deterministic (see EngineStats::degenerate_windows).
+class Engine {
+ public:
+  /// workers: parallel worker threads including the caller (Parallel kind
+  /// only; 0 = hardware_concurrency, values are clamped to >= 1). The
+  /// Sequential kind spawns no threads ever.
+  explicit Engine(EngineKind kind = EngineKind::Sequential, int workers = 0);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create the next logical process. All LPs must be added (and all
+  /// lookahead edges registered) before the first run_until.
+  Lp& add_lp(std::string name);
+
+  /// Register the lower bound on the delivery delay of src -> dst messages:
+  /// every post on this edge must satisfy t >= now + la. Edges that carry no
+  /// lower-bounded latency must be registered with la = 0 (degenerating the
+  /// safe window); posting on an edge that was never registered throws.
+  void set_lookahead(LpId src, LpId dst, SimTime la);
+
+  Lp& lp(LpId id) { return *lps_[static_cast<std::size_t>(id)]; }
+  std::size_t num_lps() const { return lps_.size(); }
+  EngineKind kind() const { return kind_; }
+  /// Effective worker count (after clamping; 1 for Sequential).
+  int workers() const { return workers_; }
+
+  /// Process every event with timestamp <= end on every LP, then advance all
+  /// LP clocks to end. Returns the number of events processed by this call.
+  std::uint64_t run_until(SimTime end);
+
+  /// Snapshot of the engine self-metrics (stable across identical runs).
+  EngineStats stats() const;
+
+ private:
+  friend class Lp;
+
+  /// Registered lookahead of the src -> dst edge; throws on an edge that was
+  /// never registered (the horizon computation would be unsound).
+  SimTime edge_lookahead(LpId src, LpId dst) const;
+  SimTime min_lookahead() const;
+  void route_outboxes();
+  /// Run every LP with an event below the bound, on the worker pool when one
+  /// exists. inclusive selects run_until (t <= bound) vs run_before
+  /// (t < bound) semantics.
+  void run_ready(SimTime bound, bool inclusive);
+  void drain_ready();
+  void worker_loop();
+  std::uint64_t total_events() const;
+
+  EngineKind kind_;
+  int workers_;
+  std::vector<std::unique_ptr<Lp>> lps_;
+  std::vector<SimTime> lookahead_;  ///< n*n matrix; NaN = unregistered
+  mutable SimTime min_lookahead_cache_ = -1.0;  ///< < 0 = stale
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t degenerate_windows_ = 0;
+  std::uint64_t messages_ = 0;
+  std::vector<Lp::Out> staged_;  ///< barrier merge scratch (reused)
+
+  // Worker pool (Parallel kind with workers_ > 1). The coordinator publishes
+  // a window (ready set + bound) under the mutex by bumping epoch_; workers
+  // claim LPs off the shared index and report back through active_. All
+  // window state below is written by the coordinator between barriers only.
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t epoch_ = 0;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<Lp*> ready_;
+  std::atomic<std::size_t> next_{0};
+  SimTime window_bound_ = 0;
+  bool window_inclusive_ = false;
+  std::exception_ptr worker_error_;
+};
+
+}  // namespace gemsd::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+namespace gemsd::sim {
+
+/// Execution backend for the event kernel (see sim/engine.hpp).
+///
+/// Sequential runs every logical process on the calling thread in the same
+/// safe-window schedule the parallel backend uses, so the two kinds produce
+/// identical results by construction; Parallel adds a worker pool that
+/// executes independent logical processes concurrently inside each window.
+/// The kind is pure execution policy: it never enters config_json,
+/// config_hash, or exported specs.
+enum class EngineKind {
+  Sequential,
+  Parallel,
+};
+
+}  // namespace gemsd::sim

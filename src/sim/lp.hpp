@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+class Engine;
+
+/// Index of a logical process within its Engine (dense, assigned by add_lp).
+using LpId = int;
+
+/// One pending cross-LP delivery: run `fn` on the destination LP's scheduler
+/// at absolute time `t`. The (t, src, seq) triple is a strict total order —
+/// seq is per-source — so the coordinator's merge at each barrier delivers
+/// messages in the same order no matter which worker produced them when.
+struct LpMessage {
+  SimTime t;
+  LpId src;
+  std::uint64_t seq;
+  std::function<void()> fn;
+};
+
+/// A logical process: its own event queue (a whole Scheduler) plus an outbox
+/// of cross-LP messages produced during the current safe window. All model
+/// state owned by an LP is touched only while that LP runs, which a window
+/// does on exactly one thread — the engine's barriers are the only
+/// synchronization the model ever needs.
+class Lp {
+ public:
+  LpId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Scheduler& sched() { return sched_; }
+  const Scheduler& sched() const { return sched_; }
+
+  /// Queue a cross-LP delivery: `fn` executes as an event on LP `dst` at
+  /// absolute time `t`. The conservative contract is enforced here:
+  /// t >= now + lookahead(id, dst), where the lookahead was registered with
+  /// Engine::set_lookahead — posting on an unregistered edge is a model bug
+  /// and throws. Messages sit in this LP's outbox (touched by no one else)
+  /// until the window barrier routes them.
+  void post(LpId dst, SimTime t, std::function<void()> fn);
+
+  /// Cross-LP messages this LP has posted (lifetime total).
+  std::uint64_t posted() const { return out_seq_; }
+
+ private:
+  friend class Engine;
+  Lp(Engine* engine, LpId id, std::string name)
+      : engine_(engine), id_(id), name_(std::move(name)) {}
+  Lp(const Lp&) = delete;
+  Lp& operator=(const Lp&) = delete;
+
+  struct Out {
+    LpId dst;
+    LpMessage msg;
+  };
+
+  Engine* engine_;
+  LpId id_;
+  std::string name_;
+  Scheduler sched_;
+  std::vector<Out> outbox_;
+  std::uint64_t out_seq_ = 0;
+};
+
+}  // namespace gemsd::sim

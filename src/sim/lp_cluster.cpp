@@ -1,0 +1,223 @@
+#include "sim/lp_cluster.hpp"
+
+#include <coroutine>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/task.hpp"
+
+namespace gemsd::sim {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t time_bits(SimTime t) {
+  std::uint64_t b;
+  std::memcpy(&b, &t, sizeof b);
+  return b;
+}
+
+/// Where events run and how messages travel: the engine fabric maps each
+/// component to its own LP; the flat fabric maps everything onto one
+/// Scheduler, where a "message" is a plain schedule_call — same event count,
+/// one global queue. Component index: 0..nodes-1 = nodes, nodes = server.
+struct Fabric {
+  virtual ~Fabric() = default;
+  virtual Scheduler& sched(int comp) = 0;
+  virtual void send(int src, int dst, SimTime t,
+                    std::function<void()> fn) = 0;
+};
+
+struct EngineFabric : Fabric {
+  explicit EngineFabric(const LpClusterConfig& cfg)
+      : engine(cfg.kind, cfg.workers) {
+    for (int n = 0; n < cfg.nodes; ++n) {
+      lps.push_back(&engine.add_lp("node" + std::to_string(n)));
+    }
+    lps.push_back(&engine.add_lp("server"));
+    // Lookahead table: the only cross-LP edges are node <-> server, both
+    // lower-bounded by the message transit latency.
+    const LpId server = static_cast<LpId>(cfg.nodes);
+    for (int n = 0; n < cfg.nodes; ++n) {
+      engine.set_lookahead(static_cast<LpId>(n), server, cfg.msg_latency);
+      engine.set_lookahead(server, static_cast<LpId>(n), cfg.msg_latency);
+    }
+  }
+  Scheduler& sched(int comp) override { return lps[comp]->sched(); }
+  void send(int src, int dst, SimTime t, std::function<void()> fn) override {
+    lps[src]->post(static_cast<LpId>(dst), t, std::move(fn));
+  }
+  Engine engine;
+  std::vector<Lp*> lps;
+};
+
+struct FlatFabric : Fabric {
+  Scheduler& sched(int) override { return s; }
+  void send(int, int, SimTime t, std::function<void()> fn) override {
+    s.schedule_call(t, std::move(fn));
+  }
+  Scheduler s;
+};
+
+struct Cluster {
+  Cluster(const LpClusterConfig& c, Fabric& f) : cfg(c), fab(f) {
+    nodes.reserve(static_cast<std::size_t>(cfg.nodes));
+    for (int n = 0; n < cfg.nodes; ++n) {
+      nodes.emplace_back(cfg.seed ^ (0x5bd1e995u * (std::uint64_t(n) + 1)),
+                         cfg.working_set_kb);
+    }
+    server_ports = std::make_unique<Resource>(fab.sched(cfg.nodes),
+                                              cfg.server_ports, "lockeng");
+  }
+
+  void start() {
+    for (int n = 0; n < cfg.nodes; ++n) {
+      for (int p = 0; p < cfg.mpl; ++p) {
+        fab.sched(n).spawn(txn_worker(n));
+      }
+    }
+  }
+
+  struct NodeState {
+    NodeState(std::uint64_t seed, int ws_kb) : rng(seed) {
+      if (ws_kb > 0) {
+        // Power-of-two cells so the chase can mask instead of divide; the
+        // fill is a fixed mix of the index (identical across fabrics).
+        std::size_t cells = std::size_t{64};
+        while (cells * sizeof(std::uint64_t) < std::size_t(ws_kb) * 1024) {
+          cells *= 2;
+        }
+        ws.resize(cells);
+        for (std::size_t i = 0; i < cells; ++i) {
+          ws[i] = mix(0x243f6a8885a308d3ULL, i);
+        }
+      }
+    }
+    Rng rng;
+    std::vector<std::uint64_t> ws;  ///< buffer working set (may be empty)
+    std::uint64_t cursor = 0;       ///< chase continuation point
+    std::uint64_t commits = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t digest = 0;
+    SimTime last_commit = 0;
+  };
+
+  /// The local-request memory work: `chase_len` dependent read-modify-write
+  /// touches through the node's working set. Each load feeds the next index,
+  /// so the chain is latency-bound — cache residency of the set, not
+  /// bandwidth, decides its speed.
+  void chase(NodeState& nd) {
+    const std::uint64_t mask = nd.ws.size() - 1;
+    std::uint64_t idx = nd.cursor & mask;
+    std::uint64_t acc = nd.digest;
+    for (int k = 0; k < cfg.chase_len; ++k) {
+      std::uint64_t& cell = nd.ws[idx];
+      acc = mix(acc, cell);
+      cell ^= acc;
+      idx = cell & mask;
+    }
+    nd.cursor = idx;
+    nd.digest = acc;
+  }
+
+  /// One multiprogramming slot: closed loop of transactions, each a chain
+  /// of CPU bursts followed by a local buffer access or a round trip to the
+  /// lock-engine LP. Runs entirely on its node's scheduler; the server only
+  /// ever sees the suspended handle.
+  Task<void> txn_worker(int n) {
+    NodeState& nd = nodes[static_cast<std::size_t>(n)];
+    Scheduler& s = fab.sched(n);
+    while (nd.commits < cfg.txns_per_node) {
+      for (int r = 0; r < cfg.requests_per_txn; ++r) {
+        co_await s.delay(nd.rng.exponential(cfg.cpu_burst_mean));
+        if (nd.rng.uniform() < cfg.remote_fraction) {
+          ++nd.remote;
+          co_await s.suspend([this, n, &s](std::coroutine_handle<> h) {
+            fab.send(n, cfg.nodes, s.now() + cfg.msg_latency,
+                     [this, n, h] { fab.sched(cfg.nodes).spawn(serve(n, h)); });
+          });
+          nd.digest = mix(nd.digest, time_bits(s.now()));  // grant time
+        } else {
+          co_await s.delay(cfg.local_service);
+          if (!nd.ws.empty()) chase(nd);
+          nd.digest = mix(nd.digest, static_cast<std::uint64_t>(r) + 1);
+        }
+      }
+      ++nd.commits;
+      nd.last_commit = s.now();
+      nd.digest = mix(nd.digest, nd.commits);
+    }
+  }
+
+  /// Server side of one request: FIFO port, fixed service, reply message
+  /// that resumes the waiting transaction back on its node.
+  Task<void> serve(int n, std::coroutine_handle<> h) {
+    Scheduler& ss = fab.sched(cfg.nodes);
+    co_await server_ports->use(cfg.server_service);
+    server_digest = mix(server_digest, (std::uint64_t(n) << 32) | ++server_ops);
+    server_digest = mix(server_digest, time_bits(ss.now()));
+    fab.send(cfg.nodes, n, ss.now() + cfg.msg_latency, [h] { h.resume(); });
+  }
+
+  LpClusterResult collect() const {
+    LpClusterResult r;
+    std::uint64_t digest = server_digest;
+    for (const NodeState& nd : nodes) {
+      r.commits += nd.commits;
+      r.remote_requests += nd.remote;
+      r.makespan = std::max(r.makespan, nd.last_commit);
+      digest = mix(digest, nd.digest);
+    }
+    r.checksum = digest;
+    return r;
+  }
+
+  const LpClusterConfig& cfg;
+  Fabric& fab;
+  std::vector<NodeState> nodes;
+  std::unique_ptr<Resource> server_ports;
+  std::uint64_t server_digest = 0;
+  std::uint64_t server_ops = 0;
+};
+
+/// Generous horizon: the closed workload drains long before this; the run
+/// loop exits as soon as every queue is empty.
+constexpr SimTime kDrainHorizon = 1e9;
+
+}  // namespace
+
+LpClusterResult run_lp_cluster(const LpClusterConfig& cfg) {
+  EngineFabric fab(cfg);
+  Cluster cluster(cfg, fab);
+  cluster.start();
+  fab.engine.run_until(kDrainHorizon);
+  LpClusterResult r = cluster.collect();
+  const EngineStats st = fab.engine.stats();
+  r.events = st.events;
+  r.messages = st.messages;
+  r.windows = st.windows;
+  r.degenerate_windows = st.degenerate_windows;
+  r.max_queue_depth = st.max_queue_depth;
+  return r;
+}
+
+LpClusterResult run_lp_cluster_single_queue(const LpClusterConfig& cfg) {
+  FlatFabric fab;
+  Cluster cluster(cfg, fab);
+  cluster.start();
+  fab.s.run_until(kDrainHorizon);
+  LpClusterResult r = cluster.collect();
+  r.events = fab.s.events_processed();
+  r.max_queue_depth = fab.s.max_queued();
+  return r;
+}
+
+}  // namespace gemsd::sim

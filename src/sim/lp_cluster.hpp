@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine_kind.hpp"
+#include "sim/time.hpp"
+
+namespace gemsd::sim {
+
+/// Configuration of the LP-native cluster model (lp_cluster.cpp): N node
+/// LPs running closed multiprogrammed transaction streams against one
+/// shared lock-engine LP, all cross-LP traffic lower-bounded by the message
+/// transit latency. This is the engine's reference workload — the shape of
+/// the paper's loosely coupled cluster, reduced to what the kernel sees:
+/// dense local event streams per node, sparse lower-bounded messages
+/// between them.
+struct LpClusterConfig {
+  int nodes = 4;
+  int mpl = 32;                    ///< concurrent transactions per node
+  std::uint64_t txns_per_node = 500;  ///< commit target per node
+  int requests_per_txn = 8;
+  double remote_fraction = 0.25;   ///< requests that consult the lock engine
+  SimTime cpu_burst_mean = usec(20);   ///< exponential burst between requests
+  SimTime local_service = usec(15);    ///< local buffer/latch path
+  SimTime msg_latency = usec(200);     ///< cross-LP transit lower bound
+  SimTime server_service = usec(2);    ///< lock-engine service per request
+  int server_ports = 8;
+  /// Per-node buffer working set (0 = none). Every local request walks a
+  /// deterministic read-write pointer chase of `chase_len` dependent steps
+  /// through the node's set — the memory footprint a real node's buffer and
+  /// lock state put behind each event. This is what makes the execution
+  /// order performance-relevant: the safe-window engine drains one LP at a
+  /// time, keeping a single node's set cache-resident across a whole window,
+  /// while a flat global queue interleaves all nodes event-by-event and
+  /// touches the union of their sets. Results (checksum included) are
+  /// unaffected by that order either way.
+  int working_set_kb = 0;
+  int chase_len = 16;              ///< dependent touches per local request
+  std::uint64_t seed = 42;
+  EngineKind kind = EngineKind::Sequential;
+  int workers = 0;                 ///< parallel workers (0 = hw concurrency)
+};
+
+struct LpClusterResult {
+  std::uint64_t commits = 0;
+  std::uint64_t remote_requests = 0;
+  std::uint64_t events = 0;        ///< kernel events processed
+  std::uint64_t messages = 0;      ///< cross-LP messages routed
+  std::uint64_t windows = 0;
+  std::uint64_t degenerate_windows = 0;
+  std::size_t max_queue_depth = 0;
+  /// Order-sensitive digest of every request completion (per-LP order plus
+  /// grant times). Identical across engine kinds and worker counts — the
+  /// determinism tests' one-number witness.
+  std::uint64_t checksum = 0;
+  SimTime makespan = 0;            ///< last commit time
+};
+
+/// Run the cluster on the safe-window engine. Deterministic: the result —
+/// checksum included — is identical for both engine kinds and any worker
+/// count.
+LpClusterResult run_lp_cluster(const LpClusterConfig& cfg);
+
+/// The same workload flattened onto one Scheduler (the pre-engine way to
+/// simulate a cluster): the single-global-queue baseline the engine benches
+/// compare against at matching event counts. cfg.kind/workers are ignored.
+LpClusterResult run_lp_cluster_single_queue(const LpClusterConfig& cfg);
+
+}  // namespace gemsd::sim

@@ -1,6 +1,7 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace gemsd::sim {
@@ -14,37 +15,55 @@ Scheduler::~Scheduler() {
   }
 }
 
+// The heap is 4-ary: half the tree height of a binary heap, and the four
+// children of a node sit in one 32-byte span of the flat Ev array (about a
+// cache line), so the extra comparisons per level are nearly free while the
+// sift paths — the part deep queues pay for — shrink by 2x. Because (t, key)
+// is a strict total order (key embeds the unique schedule sequence number),
+// pop order is independent of heap arity: results are bit-identical to the
+// binary heap this replaces. See BM_QueueDepth in bench/bench_kernel.cpp.
 void Scheduler::push(Ev ev) {
   assert(ev.t >= now_);
   heap_.push_back(ev);
-  // Sift up.
+  if (heap_.size() > max_queued_) max_queued_ = heap_.size();
+  // Sift up: hole-based (move the parent down instead of swapping).
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(ev, heap_[parent])) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = ev;
 }
 
 Scheduler::Ev Scheduler::pop_top() {
   const Ev top = heap_.front();
-  heap_.front() = heap_.back();
+  const Ev last = heap_.back();
   heap_.pop_back();
-  // Sift down.
   const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  // Sift down: pick the smallest of up to four children per level.
   std::size_t i = 0;
   for (;;) {
-    const std::size_t l = 2 * i + 1;
-    if (l >= n) break;
-    const std::size_t r = l + 1;
-    std::size_t min = l;
-    if (r < n && before(heap_[r], heap_[l])) min = r;
-    if (!before(heap_[min], heap_[i])) break;
-    std::swap(heap_[i], heap_[min]);
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    std::size_t min = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[min])) min = c;
+    }
+    if (!before(heap_[min], last)) break;
+    heap_[i] = heap_[min];
     i = min;
   }
+  heap_[i] = last;
   return top;
+}
+
+SimTime Scheduler::next_time() const {
+  return heap_.empty() ? std::numeric_limits<SimTime>::infinity()
+                       : heap_.front().t;
 }
 
 void Scheduler::schedule_call(SimTime t, std::function<void()> fn) {
@@ -102,6 +121,19 @@ std::uint64_t Scheduler::run_until(SimTime end) {
     ++n;
   }
   now_ = end;
+  processed_ += n;
+  return n;
+}
+
+std::uint64_t Scheduler::run_before(SimTime end) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().t < end) {
+    const Ev ev = pop_top();
+    now_ = ev.t;
+    dispatch(ev);
+    drain_dead();
+    ++n;
+  }
   processed_ += n;
   return n;
 }

@@ -24,9 +24,11 @@ namespace gemsd::sim {
 /// steady-state simulation schedules millions of events without touching the
 /// allocator.
 ///
-/// A Scheduler is strictly single-threaded: exactly one thread may construct,
-/// drive and destroy it. Parallelism is across independent Scheduler
-/// instances (one per simulation run, see core/sweep.hpp), never within one.
+/// A Scheduler is strictly single-threaded: no two threads may touch it at
+/// the same time. Parallelism is across Scheduler instances — one per
+/// simulation run (core/sweep.hpp), or one per logical process within a run
+/// under the safe-window engine (sim/engine.hpp), which guarantees each LP's
+/// scheduler runs on exactly one thread per window.
 class Scheduler {
  public:
   Scheduler() { heap_.reserve(kInitialHeapCapacity); }
@@ -52,11 +54,21 @@ class Scheduler {
   /// Process events with timestamp <= end; then advance now to end.
   /// Returns the number of events processed.
   std::uint64_t run_until(SimTime end);
+  /// Process events with timestamp strictly < end; now stays at the last
+  /// processed event (the clock may only move forward to times whose events
+  /// have run). The safe-window engine's workhorse: events at or beyond the
+  /// window horizon may still be affected by other LPs' messages.
+  std::uint64_t run_before(SimTime end);
   /// Process all remaining events. Returns the number processed.
   std::uint64_t run_all();
 
+  /// Timestamp of the next pending event, or +infinity when idle.
+  SimTime next_time() const;
+
   bool empty() const { return heap_.empty(); }
   std::size_t queued_events() const { return heap_.size(); }
+  /// Event-queue high-water mark (lifetime; not reset between runs).
+  std::size_t max_queued() const { return max_queued_; }
   std::uint64_t events_processed() const { return processed_; }
   std::size_t live_processes() const { return roots_.size(); }
 
@@ -117,11 +129,12 @@ class Scheduler {
   }
   void drain_dead_slow();
 
-  std::vector<Ev> heap_;  ///< binary min-heap ordered by (t, key)
+  std::vector<Ev> heap_;  ///< 4-ary min-heap ordered by (t, key)
   std::vector<std::function<void()>> slab_;  ///< callback side slab
   std::vector<std::uint32_t> free_slots_;    ///< recycled slab indices
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
+  std::size_t max_queued_ = 0;
   std::uint64_t processed_ = 0;
   std::unordered_set<void*> roots_;
   std::vector<std::coroutine_handle<>> dead_;

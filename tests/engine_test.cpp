@@ -1,0 +1,364 @@
+// Safe-window engine tests (sim/engine.hpp): mailbox merge order, the
+// zero-lookahead degenerate path, determinism of the LP-cluster model across
+// engine kinds and worker counts, and the oracle gate — the parallel engine
+// must reproduce the sequential engine's results exactly on every shipped
+// spec. Equality here is ==, not near: the engine's window schedule is a
+// pure function of the model, so any divergence is a bug, not noise.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config_file.hpp"
+#include "core/experiment.hpp"
+#include "core/system.hpp"
+#include "sim/engine.hpp"
+#include "sim/lp_cluster.hpp"
+#include "workload/trace_generator.hpp"
+
+#ifndef GEMSD_SOURCE_DIR
+#define GEMSD_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using namespace gemsd;
+using namespace gemsd::sim;
+
+// --- mailbox merge order --------------------------------------------------
+
+// Two source LPs post to one destination, all messages arriving at the same
+// timestamp. The posting order is adversarial: the higher-id source posts
+// first in wall-clock order. The barrier merge must still deliver in
+// (t, src_lp, seq) order — source id first, then each source's posts in
+// sequence order.
+TEST(EngineMerge, SameTimestampDeliversInSrcSeqOrder) {
+  Engine eng;
+  Lp& a = eng.add_lp("a");
+  Lp& b = eng.add_lp("b");
+  Lp& dst = eng.add_lp("dst");
+  eng.set_lookahead(a.id(), dst.id(), 0.5);
+  eng.set_lookahead(b.id(), dst.id(), 0.5);
+
+  std::vector<int> order;  // 10*src + seq
+  // b posts at local time 0.1, a at 0.2 — wall order b0, b1, a0, a1; the
+  // merged delivery order at t=1.0 must be a0, a1, b0, b1.
+  b.sched().schedule_call(0.1, [&] {
+    b.post(dst.id(), 1.0, [&] { order.push_back(10 * 1 + 0); });
+    b.post(dst.id(), 1.0, [&] { order.push_back(10 * 1 + 1); });
+  });
+  a.sched().schedule_call(0.2, [&] {
+    a.post(dst.id(), 1.0, [&] { order.push_back(10 * 0 + 0); });
+    a.post(dst.id(), 1.0, [&] { order.push_back(10 * 0 + 1); });
+  });
+  eng.run_until(2.0);
+
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 10, 11}));
+  EXPECT_EQ(eng.stats().messages, 4u);
+  EXPECT_DOUBLE_EQ(dst.sched().now(), 2.0);
+}
+
+// Messages at different timestamps sort by time first, regardless of which
+// source posted them or in which order.
+TEST(EngineMerge, TimeOutranksSourceAndSeq) {
+  Engine eng;
+  Lp& a = eng.add_lp("a");
+  Lp& b = eng.add_lp("b");
+  Lp& dst = eng.add_lp("dst");
+  eng.set_lookahead(a.id(), dst.id(), 0.25);
+  eng.set_lookahead(b.id(), dst.id(), 0.25);
+
+  std::vector<int> order;
+  a.sched().schedule_call(0.1, [&] {
+    a.post(dst.id(), 1.5, [&] { order.push_back(15); });
+    a.post(dst.id(), 1.0, [&] { order.push_back(10); });
+  });
+  b.sched().schedule_call(0.1, [&] {
+    b.post(dst.id(), 1.25, [&] { order.push_back(12); });
+  });
+  eng.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{10, 12, 15}));
+}
+
+// --- zero-lookahead degenerate path ---------------------------------------
+
+// A registered zero-lookahead edge must not deadlock or skip events: the
+// engine serializes into degenerate windows and still delivers everything in
+// order. Ping-pong N messages at the *same* timestamp — the hardest case,
+// since no window can ever open beyond T.
+TEST(EngineDegenerate, ZeroLookaheadPingPongStaysExactAndSerial) {
+  for (const EngineKind kind : {EngineKind::Sequential, EngineKind::Parallel}) {
+    Engine eng(kind, 4);
+    Lp& a = eng.add_lp("a");
+    Lp& b = eng.add_lp("b");
+    eng.set_lookahead(a.id(), b.id(), 0.0);
+    eng.set_lookahead(b.id(), a.id(), 0.0);
+
+    std::vector<int> hops;
+    std::function<void(int)> hop = [&](int k) {
+      hops.push_back(k);
+      if (k >= 10) return;
+      Lp& self = (k % 2 == 0) ? a : b;
+      Lp& peer = (k % 2 == 0) ? b : a;
+      self.post(peer.id(), self.sched().now(), [&hop, k] { hop(k + 1); });
+    };
+    a.sched().schedule_call(1.0, [&] { hop(0); });
+    const std::uint64_t events = eng.run_until(5.0);
+
+    ASSERT_EQ(hops.size(), 11u) << "kind " << static_cast<int>(kind);
+    for (int k = 0; k <= 10; ++k) EXPECT_EQ(hops[static_cast<size_t>(k)], k);
+    EXPECT_EQ(events, 11u);
+    EXPECT_GE(eng.stats().degenerate_windows, 10u);
+    EXPECT_DOUBLE_EQ(a.sched().now(), 5.0);
+    EXPECT_DOUBLE_EQ(b.sched().now(), 5.0);
+  }
+}
+
+// --- posting contract -----------------------------------------------------
+
+TEST(EngineContract, PostOnUnregisteredEdgeThrows) {
+  Engine eng;
+  Lp& a = eng.add_lp("a");
+  Lp& b = eng.add_lp("b");
+  bool threw = false;
+  a.sched().schedule_call(0.0, [&] {
+    try {
+      a.post(b.id(), 1.0, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  eng.run_until(1.0);
+  EXPECT_TRUE(threw);
+}
+
+TEST(EngineContract, PostViolatingLookaheadThrows) {
+  Engine eng;
+  Lp& a = eng.add_lp("a");
+  Lp& b = eng.add_lp("b");
+  eng.set_lookahead(a.id(), b.id(), 0.5);
+  bool threw = false;
+  a.sched().schedule_call(1.0, [&] {
+    try {
+      a.post(b.id(), 1.2, [] {});  // 1.2 < now(1.0) + lookahead(0.5)
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  eng.run_until(2.0);
+  EXPECT_TRUE(threw);
+}
+
+// --- LP-cluster determinism -----------------------------------------------
+
+LpClusterConfig small_cluster() {
+  LpClusterConfig c;
+  c.nodes = 3;
+  c.mpl = 8;
+  c.txns_per_node = 60;
+  c.requests_per_txn = 6;
+  c.remote_fraction = 0.3;
+  c.working_set_kb = 16;
+  c.chase_len = 8;
+  return c;
+}
+
+void expect_same(const LpClusterResult& x, const LpClusterResult& y,
+                 const char* what) {
+  EXPECT_EQ(x.checksum, y.checksum) << what;
+  EXPECT_EQ(x.commits, y.commits) << what;
+  EXPECT_EQ(x.remote_requests, y.remote_requests) << what;
+  EXPECT_EQ(x.events, y.events) << what;
+  EXPECT_DOUBLE_EQ(x.makespan, y.makespan) << what;
+}
+
+// The one-number witness: the order-sensitive checksum (grant times folded
+// in per-LP order) is identical on the flat single-queue kernel, the
+// sequential engine, and the parallel engine at 1, 2, and 4 workers.
+TEST(LpCluster, IdenticalAcrossKernelsAndWorkerCounts) {
+  const LpClusterConfig base = small_cluster();
+
+  const LpClusterResult flat = run_lp_cluster_single_queue(base);
+  ASSERT_GT(flat.commits, 0u);
+
+  LpClusterConfig cfg = base;
+  cfg.kind = EngineKind::Sequential;
+  const LpClusterResult seq = run_lp_cluster(cfg);
+  expect_same(flat, seq, "flat vs sequential engine");
+
+  for (int workers : {1, 2, 4}) {
+    cfg.kind = EngineKind::Parallel;
+    cfg.workers = workers;
+    const LpClusterResult par = run_lp_cluster(cfg);
+    expect_same(seq, par, "sequential vs parallel engine");
+    EXPECT_EQ(seq.windows, par.windows);
+    EXPECT_EQ(seq.messages, par.messages);
+    EXPECT_EQ(seq.max_queue_depth, par.max_queue_depth);
+  }
+}
+
+TEST(LpCluster, EngineStatsAreConsistent) {
+  LpClusterConfig cfg = small_cluster();
+  cfg.kind = EngineKind::Sequential;
+  const LpClusterResult r = run_lp_cluster(cfg);
+  EXPECT_GT(r.windows, 0u);
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_EQ(r.degenerate_windows, 0u);  // all edges have real lookahead
+  // Every remote request is two messages (request + grant), and nothing else
+  // crosses LPs.
+  EXPECT_EQ(r.messages, 2 * r.remote_requests);
+  EXPECT_GT(r.max_queue_depth, 0u);
+}
+
+// --- oracle gate: parallel == sequential on the shipped specs -------------
+
+struct GateResult {
+  RunResult r;
+  std::vector<std::pair<std::string, double>> detail;  // engine.* stripped
+};
+
+GateResult run_gate(const RunSpec& spec, EngineKind kind, int workers,
+                    const workload::Trace* trace) {
+  SystemConfig cfg;
+  if (spec.kind == RunSpec::Kind::Trace) {
+    cfg = make_trace_config(*trace);
+    apply_spec_keys(cfg, spec.keys);
+  } else {
+    cfg = spec.cfg;
+  }
+  // Shrunk horizon: the gate checks engine equivalence, not steady state.
+  cfg.warmup = 0.1;
+  cfg.measure = 0.3;
+  cfg.engine.kind = kind;
+  cfg.engine.workers = workers;
+  GateResult g;
+  g.r = spec.kind == RunSpec::Kind::Trace ? run_trace(cfg, *trace)
+                                          : run_debit_credit(cfg);
+  if (g.r.telemetry) {
+    for (const auto& kv : g.r.telemetry->detail) {
+      if (kv.first.rfind("engine.", 0) == 0) continue;  // self-metrics differ
+      g.detail.push_back(kv);
+    }
+  }
+  return g;
+}
+
+void expect_identical(const GateResult& s, const GateResult& p,
+                      const std::string& what) {
+  EXPECT_GT(s.r.commits, 0u) << what << " (vacuous gate run)";
+  EXPECT_DOUBLE_EQ(s.r.resp_ms, p.r.resp_ms) << what;
+  EXPECT_DOUBLE_EQ(s.r.resp_ci_ms, p.r.resp_ci_ms) << what;
+  EXPECT_DOUBLE_EQ(s.r.resp_p95_ms, p.r.resp_p95_ms) << what;
+  EXPECT_DOUBLE_EQ(s.r.throughput, p.r.throughput) << what;
+  EXPECT_EQ(s.r.commits, p.r.commits) << what;
+  EXPECT_EQ(s.r.aborts, p.r.aborts) << what;
+  EXPECT_EQ(s.r.deadlocks, p.r.deadlocks) << what;
+  EXPECT_DOUBLE_EQ(s.r.cpu_util, p.r.cpu_util) << what;
+  EXPECT_DOUBLE_EQ(s.r.messages_per_txn, p.r.messages_per_txn) << what;
+  ASSERT_EQ(s.detail.size(), p.detail.size()) << what;
+  for (std::size_t i = 0; i < s.detail.size(); ++i) {
+    EXPECT_EQ(s.detail[i].first, p.detail[i].first) << what;
+    EXPECT_DOUBLE_EQ(s.detail[i].second, p.detail[i].second)
+        << what << " key " << s.detail[i].first;
+  }
+}
+
+const workload::Trace& shared_trace() {
+  static const workload::Trace trace = [] {
+    sim::Rng rng(7);
+    workload::SyntheticTraceConfig tc;
+    tc.transactions = 4000;
+    return workload::generate_synthetic_trace(tc, rng);
+  }();
+  return trace;
+}
+
+// Every shipped spec file, sequential vs parallel(2 workers). Multi-run
+// sweeps are sampled first/middle/last — every file is covered, every
+// coupling mode and storage layout in the corpus gets exercised, and the
+// gate stays fast enough for tier 1.
+TEST(EngineOracleGate, ParallelMatchesSequentialOnEveryShippedSpec) {
+  const std::string dir = std::string(GEMSD_SOURCE_DIR) + "/specs";
+  if (!std::filesystem::exists(dir + "/fig_4_1.ini")) {
+    GTEST_SKIP() << "specs/ not reachable";
+  }
+  int files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    ++files;
+    const SpecDoc doc = parse_spec_doc_file(entry.path().string());
+    std::vector<std::size_t> picks{0};
+    if (doc.runs.size() > 2) picks.push_back(doc.runs.size() / 2);
+    if (doc.runs.size() > 1) picks.push_back(doc.runs.size() - 1);
+    for (const std::size_t i : picks) {
+      const RunSpec& spec = doc.runs[i];
+      const workload::Trace* trace =
+          spec.kind == RunSpec::Kind::Trace ? &shared_trace() : nullptr;
+      const GateResult seq =
+          run_gate(spec, EngineKind::Sequential, 0, trace);
+      const GateResult par = run_gate(spec, EngineKind::Parallel, 2, trace);
+      expect_identical(
+          seq, par,
+          entry.path().filename().string() + " run " + std::to_string(i));
+    }
+  }
+  EXPECT_GE(files, 19) << "shipped spec corpus shrank?";
+}
+
+// The two headline figures additionally gated at 2 and 4 workers.
+TEST(EngineOracleGate, HeadlineFiguresMatchAtTwoAndFourWorkers) {
+  const std::string dir = std::string(GEMSD_SOURCE_DIR) + "/specs/";
+  if (!std::filesystem::exists(dir + "fig_4_1.ini")) {
+    GTEST_SKIP() << "specs/ not reachable";
+  }
+  for (const char* name : {"fig_4_1.ini", "fig_4_7.ini"}) {
+    const SpecDoc doc = parse_spec_doc_file(dir + name);
+    ASSERT_FALSE(doc.runs.empty()) << name;
+    const RunSpec& spec = doc.runs[doc.runs.size() / 2];
+    const workload::Trace* trace =
+        spec.kind == RunSpec::Kind::Trace ? &shared_trace() : nullptr;
+    const GateResult seq = run_gate(spec, EngineKind::Sequential, 0, trace);
+    for (int workers : {2, 4}) {
+      const GateResult par =
+          run_gate(spec, EngineKind::Parallel, workers, trace);
+      expect_identical(seq, par,
+                       std::string(name) + " @" + std::to_string(workers) +
+                           " workers");
+    }
+  }
+}
+
+// The results JSON detail block must expose the engine self-metrics.
+TEST(EngineSelfMetrics, DetailCarriesEngineCounters) {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 2;
+  cfg.warmup = 0.1;
+  cfg.measure = 0.2;
+  cfg.engine.kind = EngineKind::Parallel;
+  cfg.engine.workers = 2;
+  const RunResult r = run_debit_credit(cfg);
+  ASSERT_TRUE(r.telemetry);
+  double lps = -1, workers = -1, windows = -1, events = -1, maxq = -1;
+  bool lp0 = false, wall = false;
+  for (const auto& kv : r.telemetry->detail) {
+    if (kv.first == "engine.lps") lps = kv.second;
+    if (kv.first == "engine.workers") workers = kv.second;
+    if (kv.first == "engine.windows") windows = kv.second;
+    if (kv.first == "engine.events") events = kv.second;
+    if (kv.first == "engine.max_queue_depth") maxq = kv.second;
+    if (kv.first == "engine.lp0.events") lp0 = true;
+    if (kv.first == "engine.wall_events_per_s") wall = kv.second > 0;
+  }
+  EXPECT_EQ(lps, 1);      // the System model is one LP (see DESIGN.md)
+  EXPECT_EQ(workers, 2);
+  EXPECT_GE(windows, 1);  // single LP, no lookahead bound: one window per run
+  EXPECT_GT(events, 0);
+  EXPECT_GT(maxq, 0);
+  EXPECT_TRUE(lp0);
+  EXPECT_TRUE(wall);
+}
+
+}  // namespace

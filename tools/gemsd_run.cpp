@@ -4,6 +4,7 @@
 //   ./gemsd_run spec.ini [more-specs.ini ...] [--csv] [--full] [--jobs=N]
 //              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
 //              [--trace-filter=RE] [--sample=S] [--slow-k=K] [--audit]
+//              [--engine=sequential|parallel] [--engine-workers=N]
 //
 // A spec holds either a single configuration or a whole sweep (one [run]
 // section per point — the format gemsd_bench --export-spec writes; see
@@ -69,6 +70,19 @@ int main(int argc, char** argv) {
       obs_opt.slow_k = std::atoi(argv[i] + 9);
     } else if (std::strcmp(argv[i], "--audit") == 0) {
       obs_opt.audit = true;
+    } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      const char* v = argv[i] + 9;
+      if (std::strcmp(v, "sequential") == 0) {
+        obs_opt.engine = sim::EngineKind::Sequential;
+      } else if (std::strcmp(v, "parallel") == 0) {
+        obs_opt.engine = sim::EngineKind::Parallel;
+      } else {
+        std::fprintf(stderr,
+                     "error: --engine must be sequential or parallel\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--engine-workers=", 17) == 0) {
+      obs_opt.engine_workers = std::atoi(argv[i] + 17);
     } else {
       spec_files.push_back(argv[i]);
     }
@@ -78,7 +92,8 @@ int main(int argc, char** argv) {
                  "usage: gemsd_run <spec.ini> [more-specs.ini ...] "
                  "[--csv] [--full] [--jobs=N] [--metrics-json=FILE] "
                  "[--trace=FILE] [--trace-run=I] [--trace-filter=RE] "
-                 "[--sample=S] [--slow-k=K] [--audit]\n");
+                 "[--sample=S] [--slow-k=K] [--audit] "
+                 "[--engine=sequential|parallel] [--engine-workers=N]\n");
     return 1;
   }
 
@@ -153,15 +168,19 @@ int main(int argc, char** argv) {
       obs.trace_capacity = obs_opt.trace_capacity;
       obs.trace_filter = obs_opt.trace_filter;
     }
+    SystemConfig::EngineConfig eng;
+    eng.kind = obs_opt.engine;
+    eng.workers = obs_opt.engine_workers;
     std::shared_ptr<const workload::Trace> trace;
     if (spec.kind == RunSpec::Kind::Trace) {
       trace = traces.at(std::make_pair(spec.trace_file, spec.trace_txns));
     }
-    tasks.push_back([&spec, obs, trace] {
+    tasks.push_back([&spec, obs, eng, trace] {
       SpecResult out;
       if (spec.kind == RunSpec::Kind::DebitCredit) {
         SystemConfig cfg = spec.cfg;
         cfg.obs = obs;
+        cfg.engine = eng;
         out.r = run_debit_credit(cfg);
         out.cfg = cfg;
         out.names = debit_credit_partition_names();
@@ -172,6 +191,7 @@ int main(int argc, char** argv) {
         SystemConfig cfg = make_trace_config(*trace);
         apply_spec_keys(cfg, spec.keys);
         cfg.obs = obs;
+        cfg.engine = eng;
         out.r = run_trace(cfg, *trace);
         out.cfg = cfg;
         for (int f = 0; f < trace->num_files; ++f) {
