@@ -149,6 +149,15 @@ struct SystemConfig {
     /// Online invariant auditors in the TM/lock/buffer hot paths (fail fast
     /// with a trace cursor on the first violated invariant).
     bool audit = false;
+    /// Engine parallelism profiler (obs/engprof.hpp): wall-clock per-window
+    /// accounting of the safe-window engine. Pure observation — results are
+    /// bit-identical on/off at any worker count.
+    bool engine_profile = false;
+    /// Timeline ring capacity in windows (aggregates always cover the run).
+    std::size_t engprof_windows = std::size_t{1} << 14;
+    /// Heartbeat period in wall seconds (0 = off): one stderr JSONL line
+    /// with sim-time, commits, events/s and window count.
+    double progress_every_s = 0.0;
   } obs;
 
   /// Failure/recovery model (Section 1-2 motivate availability; GEM's

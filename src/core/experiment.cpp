@@ -7,6 +7,7 @@
 #include <fstream>
 #include <regex>
 
+#include "obs/engprof.hpp"
 #include "obs/fingerprint.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
@@ -156,6 +157,18 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
       o.trace_filter = v;
     } else if (a == "--audit") {
       o.audit = true;
+    } else if (a == "--engine-profile") {
+      o.engine_profile = true;
+    } else if (value_of(a, "--engine-profile", v)) {
+      o.engine_profile = true;
+      o.engine_profile_file = v;
+    } else if (value_of(a, "--engine-profile-trace", v)) {
+      o.engine_profile = true;
+      o.engine_profile_trace = v;
+    } else if (a == "--progress") {
+      o.progress_every_s = 10.0;
+    } else if (value_of(a, "--progress", v)) {
+      num_ok = to_double(v, o.progress_every_s) && o.progress_every_s > 0;
     } else if (value_of(a, "--engine", v)) {
       if (v == "sequential") {
         o.engine = sim::EngineKind::Sequential;
@@ -200,7 +213,13 @@ std::string bench_usage() {
       "  --audit            online invariant auditors (fail fast)\n"
       "  --engine=K         event kernel: sequential (default) or parallel;\n"
       "                     results are identical either way\n"
-      "  --engine-workers=N parallel-engine threads per run (0 = hw conc.)\n";
+      "  --engine-workers=N parallel-engine threads per run (0 = hw conc.)\n"
+      "  --engine-profile[=F]      wall-clock engine parallelism profile of\n"
+      "                     the --trace-run point (gemsd.engprof.v1 JSON;\n"
+      "                     default results/ENGPROF_<bench>.json)\n"
+      "  --engine-profile-trace=F  Perfetto wall-clock timeline of the\n"
+      "                     profiled windows\n"
+      "  --progress[=SECS]  stderr JSONL heartbeat (default 10s period)\n";
 }
 
 BenchOptions parse_bench_args(int argc, char** argv) {
@@ -228,13 +247,19 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
     obs.sample_every = opt.sample_every;
     obs.slow_k = opt.slow_k;
     obs.audit = opt.audit;
-    if (!opt.trace_file.empty() &&
-        i == static_cast<std::size_t>(
-                 opt.trace_run < 0 ? 0 : opt.trace_run) %
-                 (cfgs.empty() ? 1 : cfgs.size())) {
+    obs.progress_every_s = opt.progress_every_s;
+    const std::size_t picked =
+        static_cast<std::size_t>(opt.trace_run < 0 ? 0 : opt.trace_run) %
+        (cfgs.empty() ? 1 : cfgs.size());
+    if (!opt.trace_file.empty() && i == picked) {
       obs.trace = true;
       obs.trace_capacity = opt.trace_capacity;
       obs.trace_filter = opt.trace_filter;
+    }
+    // The profiler follows the same point selection as --trace so one
+    // invocation can line the simulated trace up with the wall timeline.
+    if (opt.engine_profile && i == picked) {
+      obs.engine_profile = true;
     }
   }
 }
@@ -486,6 +511,46 @@ std::string write_trace_file(const BenchOptions& opt,
   return write_text_file(opt.trace_file, json) ? opt.trace_file : "";
 }
 
+std::pair<std::string, std::string> write_engprof_files(
+    const std::string& bench, const BenchOptions& opt,
+    const std::vector<BenchRun>& runs) {
+  if (!opt.engine_profile || runs.empty()) return {"", ""};
+  const std::size_t idx =
+      static_cast<std::size_t>(opt.trace_run < 0 ? 0 : opt.trace_run) %
+      runs.size();
+  const BenchRun& run = runs[idx];
+  const auto* tel = run.result.telemetry.get();
+  if (!tel || !tel->engprof) {
+    std::fprintf(stderr,
+                 "warning: --engine-profile given but run %zu has no "
+                 "engine profile\n",
+                 idx);
+    return {"", ""};
+  }
+  obs::JsonWriter git, seed, hash;
+  git.value(obs::build_git_describe());
+  seed.value(static_cast<std::uint64_t>(run.config.seed));
+  hash.value(obs::config_hash_hex(run.config));
+  const std::vector<std::pair<std::string, std::string>> metadata = {
+      {"git", git.take()},
+      {"seed", seed.take()},
+      {"config_hash", hash.take()},
+  };
+  const std::string path = opt.engine_profile_file.empty()
+                               ? "results/ENGPROF_" + bench + ".json"
+                               : opt.engine_profile_file;
+  std::pair<std::string, std::string> out;
+  if (write_text_file(path, obs::engprof_json(*tel->engprof, metadata))) {
+    out.first = path;
+  }
+  if (!opt.engine_profile_trace.empty() &&
+      write_text_file(opt.engine_profile_trace,
+                      obs::engprof_chrome_json(*tel->engprof, metadata))) {
+    out.second = opt.engine_profile_trace;
+  }
+  return out;
+}
+
 std::string fingerprint_line(const std::string& bench,
                              const SystemConfig& cfg) {
   std::string s = bench;
@@ -505,6 +570,7 @@ void finish_bench(const std::string& bench, const std::string& caption,
   const std::string json_path =
       write_bench_json(bench, caption, opt, bruns, partition_names);
   const std::string trace_path = write_trace_file(opt, bruns);
+  const auto engprof_paths = write_engprof_files(bench, opt, bruns);
   const SystemConfig stamp_cfg = cfgs.empty() ? SystemConfig{} : cfgs.front();
   if (opt.csv) {
     std::printf("# %s\n", fingerprint_line(bench, stamp_cfg).c_str());
@@ -514,6 +580,12 @@ void finish_bench(const std::string& bench, const std::string& caption,
     std::printf("%s\n", fingerprint_line(bench, stamp_cfg).c_str());
     if (!json_path.empty()) std::printf("results: %s\n", json_path.c_str());
     if (!trace_path.empty()) std::printf("trace: %s\n", trace_path.c_str());
+    if (!engprof_paths.first.empty()) {
+      std::printf("engine profile: %s\n", engprof_paths.first.c_str());
+    }
+    if (!engprof_paths.second.empty()) {
+      std::printf("engine timeline: %s\n", engprof_paths.second.c_str());
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "core/config.hpp"
 #include "core/report.hpp"
@@ -42,6 +43,11 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///                      (filtered events never enter the ring, so they don't
 ///                      count as dropped)
 ///   --audit            online invariant auditors (fail fast on violation)
+///   --engine-profile[=F]       wall-clock engine parallelism profile of the
+///                      --trace-run sweep point (gemsd.engprof.v1 JSON)
+///   --engine-profile-trace=F   Perfetto/Chrome wall-clock timeline of the
+///                      profiled windows
+///   --progress[=SECS]  stderr JSONL heartbeat every SECS wall seconds
 struct BenchOptions {
   double warmup = 5.0;
   double measure = 20.0;
@@ -59,6 +65,13 @@ struct BenchOptions {
   std::size_t trace_capacity = std::size_t{1} << 18;
   std::string trace_filter;  ///< regex on event names ("" = everything)
   bool audit = false;
+  /// Engine parallelism profiler (obs/engprof.hpp): profiles the same sweep
+  /// point --trace selects (trace_run). Wall-clock observation only —
+  /// simulated results are unaffected.
+  bool engine_profile = false;
+  std::string engine_profile_file;   ///< "" = results/ENGPROF_<bench>.json
+  std::string engine_profile_trace;  ///< timeline file ("" = not written)
+  double progress_every_s = 0.0;     ///< heartbeat period [wall s] (0 = off)
   /// Event-kernel backend (sim/engine.hpp). Pure execution policy: results
   /// are identical for both kinds and any worker count.
   sim::EngineKind engine = sim::EngineKind::Sequential;
@@ -120,6 +133,14 @@ std::string write_bench_json(const std::string& bench,
 /// Returns the path written, or "" when tracing was off.
 std::string write_trace_file(const BenchOptions& opt,
                              const std::vector<BenchRun>& runs);
+
+/// Write the engine parallelism profile of the profiled sweep point when
+/// --engine-profile was given: the gemsd.engprof.v1 document (first return
+/// value) and, when --engine-profile-trace=F was also given, the wall-clock
+/// Perfetto timeline (second). Empty strings when off or nothing profiled.
+std::pair<std::string, std::string> write_engprof_files(
+    const std::string& bench, const BenchOptions& opt,
+    const std::vector<BenchRun>& runs);
 
 /// One-line config fingerprint for human-readable report headers:
 /// "bench git=<describe> seed=<seed> config=<hash>".

@@ -1,11 +1,14 @@
 #include "core/system.hpp"
 
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <stdexcept>
 
 #include "cc/gem_lock_protocol.hpp"
 #include "cc/lock_engine_protocol.hpp"
 #include "cc/primary_copy_protocol.hpp"
+#include "obs/engprof.hpp"
 #include "workload/debit_credit.hpp"
 
 namespace gemsd {
@@ -54,6 +57,16 @@ System::System(const SystemConfig& cfg, Workload wl)
   if (cfg_.obs.audit) {
     audit_ = std::make_unique<obs::Auditor>(trace_.get());
     metrics_.audit = audit_.get();
+  }
+  if (cfg_.obs.engine_profile) {
+    engprof_ = std::make_unique<obs::EngProfiler>(cfg_.obs.engprof_windows);
+    engine_.set_profiler(engprof_.get());
+  }
+  if (cfg_.obs.progress_every_s > 0.0) {
+    // Check the wall clock every few thousand events (one predictable branch
+    // on the scheduler hot path otherwise); the tick itself decides whether
+    // a heartbeat period has elapsed.
+    sched_.set_progress_hook([this] { progress_tick(); }, 8192);
   }
 
   cc::Protocol::Env env;
@@ -265,6 +278,27 @@ sim::Task<void> System::sampler() {
     prev_resp_n = resp_n;
     window_start = now;
   }
+}
+
+void System::progress_tick() {
+  const double now_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - progress_epoch_)
+                           .count();
+  if (now_s - progress_last_s_ < cfg_.obs.progress_every_s) return;
+  const std::uint64_t events = sched_.events_processed();
+  // Rate over the heartbeat interval (first interval spans construction).
+  const double eps = static_cast<double>(events - progress_prev_events_) /
+                     (now_s - progress_last_s_);
+  // One JSONL line on stderr: greppable, and invisible to every stdout
+  // consumer (CSV, tables, JSON exports).
+  std::fprintf(stderr,
+               "{\"progress\":{\"sim_s\":%.3f,\"commits\":%" PRIu64
+               ",\"events\":%" PRIu64 ",\"events_per_s\":%.0f,\"windows\":%"
+               PRIu64 ",\"nodes\":%d}}\n",
+               sched_.now(), metrics_.commits.value(), events, eps,
+               engine_.windows_executed(), cfg_.nodes);
+  progress_last_s_ = now_s;
+  progress_prev_events_ = events;
 }
 
 void System::start_source() {
@@ -524,6 +558,10 @@ RunResult System::collect() const {
     tel->trace_enabled = true;
     tel->events = trace_->snapshot();
     tel->events_dropped = trace_->dropped();
+  }
+  if (engprof_) {
+    tel->engprof =
+        std::make_shared<const obs::EngProfile>(engprof_->snapshot());
   }
   r.telemetry = std::move(tel);
   return r;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,10 @@
 #include "storage/gem_device.hpp"
 #include "storage/storage_manager.hpp"
 #include "workload/workload.hpp"
+
+namespace gemsd::obs {
+class EngProfiler;
+}
 
 namespace gemsd {
 
@@ -70,6 +75,7 @@ class System {
   const std::vector<obs::Sample>& samples() const { return samples_; }
   const obs::SlowTxnLog& slow_log() const { return slow_log_; }
   obs::Auditor* auditor() { return audit_.get(); }
+  obs::EngProfiler* engine_profiler() { return engprof_.get(); }
 
   /// Inject one transaction directly (tests).
   void submit(NodeId node, workload::TxnSpec spec) {
@@ -93,6 +99,10 @@ class System {
   /// instantaneous device state, never mutates simulation state or draws
   /// random numbers — observation must not perturb results.
   sim::Task<void> sampler();
+  /// --progress heartbeat: invoked from the scheduler's event loop every few
+  /// thousand events; emits one stderr JSONL line when a wall-clock period
+  /// has elapsed. Reads counters only — zero perturbation.
+  void progress_tick();
 
   SystemConfig cfg_;
   /// The event kernel. The whole cluster model shares one sim::Rng consumed
@@ -119,11 +129,16 @@ class System {
   std::vector<bool> node_up_;
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::Auditor> audit_;
+  std::unique_ptr<obs::EngProfiler> engprof_;
   obs::SlowTxnLog slow_log_;
   std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;
   double run_wall_s_ = 0;          ///< wall-clock spent inside run_until
   std::uint64_t run_events_ = 0;   ///< events processed by those calls
+  std::chrono::steady_clock::time_point progress_epoch_ =
+      std::chrono::steady_clock::now();
+  double progress_last_s_ = 0;     ///< wall time of the last heartbeat
+  std::uint64_t progress_prev_events_ = 0;
   bool source_started_ = false;
   bool stats_reset_ = false;  ///< samples before the first reset are warm-up
   std::uint64_t recovery_ids_ = 0;

@@ -1,0 +1,663 @@
+#include "obs/engprof.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace gemsd::obs {
+
+namespace {
+
+/// Log2-spaced histogram: bucket k holds observations <= 2^k (k = 0..20),
+/// the last bucket everything larger. Fixed bucket edges keep the document
+/// layout deterministic across runs of any length.
+constexpr std::size_t kHistBuckets = 22;
+
+std::size_t hist_bucket(double v) {
+  double le = 1.0;
+  for (std::size_t k = 0; k + 1 < kHistBuckets; ++k, le *= 2.0) {
+    if (v <= le) return k;
+  }
+  return kHistBuckets - 1;
+}
+
+std::vector<EngProfHistBucket> hist_snapshot(
+    const std::vector<std::uint64_t>& counts) {
+  std::vector<EngProfHistBucket> out;
+  double le = 1.0;
+  for (std::size_t k = 0; k < counts.size(); ++k, le *= 2.0) {
+    out.push_back(EngProfHistBucket{k + 1 < counts.size() ? le : -1.0,
+                                    counts[k]});
+  }
+  return out;
+}
+
+double safe_div(double a, double b) { return b > 0 ? a / b : 0.0; }
+
+std::string lp_label(const EngProfile& p, int lp) {
+  if (lp >= 0 && static_cast<std::size_t>(lp) < p.lp_names.size()) {
+    return p.lp_names[static_cast<std::size_t>(lp)];
+  }
+  return "lp" + std::to_string(lp);
+}
+
+}  // namespace
+
+const char* to_string(EngWindowKind k) {
+  switch (k) {
+    case EngWindowKind::Normal: return "normal";
+    case EngWindowKind::Final: return "final";
+    case EngWindowKind::Degenerate: return "degenerate";
+  }
+  return "?";
+}
+
+EngProfiler::EngProfiler(std::size_t window_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      width_hist_(kHistBuckets, 0),
+      events_hist_(kHistBuckets, 0),
+      cap_(window_capacity > 0 ? window_capacity : 1) {}
+
+void EngProfiler::attach(int workers, std::vector<std::string> lp_names) {
+  if (attached_) return;
+  attached_ = true;
+  workers_ = workers;
+  num_lps_ = lp_names.size();
+  slots_.resize(num_lps_);
+  lps_.resize(num_lps_);
+  for (std::size_t i = 0; i < num_lps_; ++i) lps_[i].name = lp_names[i];
+  ring_.reserve(std::min(cap_, std::size_t{1} << 12));
+}
+
+void EngProfiler::window_begin(double wall_start_s, sim::SimTime t_min,
+                               sim::SimTime bound, EngWindowKind kind,
+                               int limit_src, int limit_dst,
+                               sim::SimTime limit_la) {
+  cur_ = EngProfWindow{};
+  cur_.seq = windows_;
+  cur_.t_min = t_min;
+  cur_.bound = bound;
+  cur_.kind = kind;
+  cur_.limit_src = static_cast<std::int16_t>(limit_src);
+  cur_.limit_dst = static_cast<std::int16_t>(limit_dst);
+  cur_.wall_start_s = wall_start_s;
+  cur_limit_la_ = limit_la;
+  open_ = true;
+  for (auto& s : slots_) s = EngProfLpSlot{};
+}
+
+void EngProfiler::lp_ran(int lp, int worker, double exec_start_s,
+                         double exec_end_s, std::uint64_t events) {
+  EngProfLpSlot& s = slots_[static_cast<std::size_t>(lp)];
+  s.exec_start_s = exec_start_s;
+  s.exec_end_s = exec_end_s;
+  s.events = events;
+  s.worker = static_cast<std::int16_t>(worker);
+}
+
+void EngProfiler::window_end() {
+  if (!open_) return;
+  open_ = false;
+  cur_.wall_end_s = now_s();
+  const double wall = cur_.wall_end_s - cur_.wall_start_s;
+
+  ++windows_;
+  if (cur_.kind == EngWindowKind::Degenerate) ++degenerate_;
+  if (cur_.kind == EngWindowKind::Final) ++final_;
+  if (first_window_start_s_ < 0) first_window_start_s_ = cur_.wall_start_s;
+  last_window_end_s_ = cur_.wall_end_s;
+  windows_s_ += wall;
+  ++width_hist_[hist_bucket((cur_.bound - cur_.t_min) * 1e6)];
+
+  double max_exec = -1.0;
+  int critical_lp = -1;
+  std::uint64_t window_events = 0;
+  for (std::size_t i = 0; i < num_lps_; ++i) {
+    const EngProfLpSlot& s = slots_[i];
+    EngProfLpStat& st = lps_[i];
+    double stall;
+    if (s.worker >= 0) {
+      const double exec = s.exec_end_s - s.exec_start_s;
+      ++st.windows_ran;
+      st.events += s.events;
+      window_events += s.events;
+      st.exec_s += exec;
+      st.idle_s += s.exec_start_s - cur_.wall_start_s;
+      st.barrier_s += cur_.wall_end_s - s.exec_end_s;
+      execute_s_ += exec;
+      stall = wall - exec;
+      if (exec > max_exec) {
+        max_exec = exec;
+        critical_lp = static_cast<int>(i);
+      }
+    } else {
+      st.idle_s += wall;
+      stall = wall;
+    }
+    if (cur_.kind == EngWindowKind::Degenerate) {
+      st.stall_degenerate_s += stall;
+    } else if (s.worker >= 0) {
+      st.stall_lookahead_s += stall;
+    } else {
+      st.stall_queue_empty_s += stall;
+    }
+  }
+  events_ += window_events;
+  ++events_hist_[hist_bucket(static_cast<double>(window_events))];
+  if (critical_lp >= 0) {
+    critical_s_ += max_exec;
+    ++lps_[static_cast<std::size_t>(critical_lp)].critical_windows;
+  }
+  // Final windows are bounded by the caller's end time, not by an edge.
+  if (cur_.limit_src >= 0 && cur_.kind != EngWindowKind::Final) {
+    EngProfEdgeStat& e = edges_[{cur_.limit_src, cur_.limit_dst}];
+    e.src = cur_.limit_src;
+    e.dst = cur_.limit_dst;
+    e.lookahead = cur_limit_la_;
+    ++e.windows_bound;
+  }
+
+  // Ring append (overwrite the oldest once full).
+  if (count_ < cap_) {
+    ring_.push_back(cur_);
+    ring_slots_.insert(ring_slots_.end(), slots_.begin(), slots_.end());
+    ++count_;
+  } else {
+    ring_[head_] = cur_;
+    std::copy(slots_.begin(), slots_.end(),
+              ring_slots_.begin() +
+                  static_cast<std::ptrdiff_t>(head_ * num_lps_));
+    if (++head_ == cap_) head_ = 0;
+    ++ring_dropped_;
+  }
+}
+
+EngProfile EngProfiler::snapshot() const {
+  EngProfile p;
+  p.workers = workers_;
+  for (const auto& st : lps_) p.lp_names.push_back(st.name);
+  p.windows = windows_;
+  p.degenerate_windows = degenerate_;
+  p.final_windows = final_;
+  p.events = events_;
+  p.profiled_s =
+      first_window_start_s_ < 0 ? 0.0
+                                : last_window_end_s_ - first_window_start_s_;
+  p.windows_s = windows_s_;
+  p.execute_s = execute_s_;
+  p.critical_s = critical_s_;
+  p.measured_speedup = safe_div(execute_s_, p.profiled_s);
+  p.speedup_bound = safe_div(execute_s_, critical_s_);
+  p.window_us_hist = hist_snapshot(width_hist_);
+  p.window_events_hist = hist_snapshot(events_hist_);
+  p.lps = lps_;
+  for (const auto& [key, e] : edges_) p.edges.push_back(e);
+  std::sort(p.edges.begin(), p.edges.end(),
+            [](const EngProfEdgeStat& a, const EngProfEdgeStat& b) {
+              if (a.windows_bound != b.windows_bound) {
+                return a.windows_bound > b.windows_bound;
+              }
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  p.ring_capacity = cap_;
+  p.ring_dropped = ring_dropped_;
+  // Chronological ring: oldest at head_ once wrapped.
+  p.ring.reserve(count_);
+  p.ring_slots.reserve(count_ * num_lps_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::size_t at = count_ < cap_ ? i : (head_ + i) % cap_;
+    p.ring.push_back(ring_[at]);
+    p.ring_slots.insert(
+        p.ring_slots.end(),
+        ring_slots_.begin() + static_cast<std::ptrdiff_t>(at * num_lps_),
+        ring_slots_.begin() + static_cast<std::ptrdiff_t>((at + 1) * num_lps_));
+  }
+  return p;
+}
+
+namespace {
+
+void write_hist(JsonWriter& w, const char* key,
+                const std::vector<EngProfHistBucket>& h) {
+  w.key(key);
+  w.begin_array();
+  for (const auto& b : h) {
+    if (b.count == 0) continue;  // fixed edges; empty buckets add no info
+    w.begin_object();
+    w.kv("le", b.le);
+    w.kv("count", static_cast<std::uint64_t>(b.count));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string engprof_json(
+    const EngProfile& p,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "gemsd.engprof.v1");
+  for (const auto& [k, raw] : metadata) {
+    w.key(k);
+    w.raw(raw);
+  }
+  w.kv("workers", static_cast<std::int64_t>(p.workers));
+  w.kv("lps", static_cast<std::int64_t>(p.lp_names.size()));
+  w.kv("windows", static_cast<std::uint64_t>(p.windows));
+  w.kv("degenerate_windows", static_cast<std::uint64_t>(p.degenerate_windows));
+  w.kv("final_windows", static_cast<std::uint64_t>(p.final_windows));
+  w.kv("events", static_cast<std::uint64_t>(p.events));
+  w.key("wall");
+  w.begin_object();
+  w.kv("profiled_s", p.profiled_s);
+  w.kv("windows_s", p.windows_s);
+  w.kv("execute_s", p.execute_s);
+  w.kv("critical_s", p.critical_s);
+  w.end_object();
+  w.key("speedup");
+  w.begin_object();
+  w.kv("measured", p.measured_speedup);
+  w.kv("bound", p.speedup_bound);
+  w.end_object();
+  write_hist(w, "window_us_hist", p.window_us_hist);
+  write_hist(w, "window_events_hist", p.window_events_hist);
+  w.key("lp");
+  w.begin_array();
+  for (std::size_t i = 0; i < p.lps.size(); ++i) {
+    const EngProfLpStat& st = p.lps[i];
+    w.begin_object();
+    w.kv("id", static_cast<std::int64_t>(i));
+    w.kv("name", st.name);
+    w.kv("windows_ran", static_cast<std::uint64_t>(st.windows_ran));
+    w.kv("critical_windows",
+         static_cast<std::uint64_t>(st.critical_windows));
+    w.kv("events", static_cast<std::uint64_t>(st.events));
+    w.kv("exec_s", st.exec_s);
+    w.kv("idle_s", st.idle_s);
+    w.kv("barrier_s", st.barrier_s);
+    w.key("stall_s");
+    w.begin_object();
+    w.kv("lookahead", st.stall_lookahead_s);
+    w.kv("degenerate", st.stall_degenerate_s);
+    w.kv("queue_empty", st.stall_queue_empty_s);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("edges");
+  w.begin_array();
+  for (const EngProfEdgeStat& e : p.edges) {
+    w.begin_object();
+    w.kv("src", static_cast<std::int64_t>(e.src));
+    w.kv("dst", static_cast<std::int64_t>(e.dst));
+    w.kv("src_name", lp_label(p, e.src));
+    w.kv("dst_name", lp_label(p, e.dst));
+    w.kv("lookahead_us", e.lookahead * 1e6);
+    w.kv("windows_bound", static_cast<std::uint64_t>(e.windows_bound));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("ring");
+  w.begin_object();
+  w.kv("capacity", static_cast<std::uint64_t>(p.ring_capacity));
+  w.kv("recorded", static_cast<std::uint64_t>(p.ring.size()));
+  w.kv("dropped", static_cast<std::uint64_t>(p.ring_dropped));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+void emit_meta(JsonWriter& w, const char* what, std::int64_t pid,
+               std::int64_t tid, const std::string& name) {
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("name", what);
+  w.kv("pid", pid);
+  if (tid >= 0) w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", name);
+  w.end_object();
+  w.end_object();
+}
+
+void begin_span(JsonWriter& w, const std::string& name, const char* cat,
+                std::int64_t pid, std::int64_t tid, double t0_s,
+                double t1_s) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("cat", cat);
+  w.kv("ph", "X");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.kv("ts", t0_s * 1e6);  // wall microseconds since the profiler epoch
+  w.kv("dur", (t1_s - t0_s) * 1e6);
+}
+
+}  // namespace
+
+std::string engprof_chrome_json(
+    const EngProfile& p,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
+  // Track layout: pid 0 = the coordinator's window sequence, pid 1 = one
+  // lane per worker (what each thread actually ran), pid 2 = one lane per
+  // LP (execute/idle/barrier classes with the stall cause).
+  constexpr std::int64_t kPidWindows = 0, kPidWorkers = 1, kPidLps = 2;
+  const std::size_t n = p.lp_names.size();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("schema", "gemsd.engprof.trace.v1");
+  for (const auto& [k, raw] : metadata) {
+    w.key(k);
+    w.raw(raw);
+  }
+  w.kv("workers", static_cast<std::int64_t>(p.workers));
+  w.kv("windows_recorded", static_cast<std::uint64_t>(p.ring.size()));
+  w.kv("windows_dropped", static_cast<std::uint64_t>(p.ring_dropped));
+  w.end_object();
+
+  w.key("traceEvents");
+  w.begin_array();
+  emit_meta(w, "process_name", kPidWindows, -1, "engine windows");
+  emit_meta(w, "process_name", kPidWorkers, -1, "workers");
+  emit_meta(w, "process_name", kPidLps, -1, "logical processes");
+  for (int v = 0; v < p.workers; ++v) {
+    emit_meta(w, "thread_name", kPidWorkers, v,
+              v == 0 ? "worker 0 (coordinator)"
+                     : "worker " + std::to_string(v));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    emit_meta(w, "thread_name", kPidLps, static_cast<std::int64_t>(i),
+              p.lp_names[i]);
+  }
+
+  for (std::size_t wi = 0; wi < p.ring.size(); ++wi) {
+    const EngProfWindow& win = p.ring[wi];
+    begin_span(w, to_string(win.kind), "window", kPidWindows, 0,
+               win.wall_start_s, win.wall_end_s);
+    w.key("args");
+    w.begin_object();
+    w.kv("seq", static_cast<std::uint64_t>(win.seq));
+    w.kv("t_min_s", win.t_min);
+    w.kv("bound_s", win.bound);
+    if (win.limit_src >= 0) {
+      w.kv("limit", lp_label(p, win.limit_src) + " -> " +
+                        lp_label(p, win.limit_dst));
+    }
+    w.end_object();
+    w.end_object();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const EngProfLpSlot& s = p.ring_slots[wi * n + i];
+      const auto tid = static_cast<std::int64_t>(i);
+      if (s.worker >= 0) {
+        // Worker lane: what this thread ran.
+        begin_span(w, p.lp_names[i], "drain", kPidWorkers, s.worker,
+                   s.exec_start_s, s.exec_end_s);
+        w.key("args");
+        w.begin_object();
+        w.kv("window", static_cast<std::uint64_t>(win.seq));
+        w.kv("events", static_cast<std::uint64_t>(s.events));
+        w.end_object();
+        w.end_object();
+        // LP lane: idle / exec / barrier tiling the window.
+        if (s.exec_start_s > win.wall_start_s) {
+          begin_span(w, "idle", "lp", kPidLps, tid, win.wall_start_s,
+                     s.exec_start_s);
+          w.end_object();
+        }
+        begin_span(w, "exec", "lp", kPidLps, tid, s.exec_start_s,
+                   s.exec_end_s);
+        w.key("args");
+        w.begin_object();
+        w.kv("worker", static_cast<std::int64_t>(s.worker));
+        w.kv("events", static_cast<std::uint64_t>(s.events));
+        w.end_object();
+        w.end_object();
+        if (win.wall_end_s > s.exec_end_s) {
+          begin_span(w, "barrier", "lp", kPidLps, tid, s.exec_end_s,
+                     win.wall_end_s);
+          w.end_object();
+        }
+      } else {
+        const char* cause = win.kind == EngWindowKind::Degenerate
+                                ? "stall:degenerate"
+                                : "stall:queue-empty";
+        begin_span(w, cause, "lp", kPidLps, tid, win.wall_start_s,
+                   win.wall_end_s);
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+double num_at(const JsonValue* v, const char* key) {
+  if (!v) return 0.0;
+  const JsonValue* f = v->find(key);
+  return f && f->is_number() ? f->num : 0.0;
+}
+
+std::string str_at(const JsonValue* v, const char* key) {
+  if (!v) return "";
+  const JsonValue* f = v->find(key);
+  return f && f->is_string() ? f->str : "";
+}
+
+std::vector<EngProfHistBucket> hist_at(const JsonValue& doc, const char* key) {
+  std::vector<EngProfHistBucket> out;
+  const JsonValue* h = doc.find(key);
+  if (!h || !h->is_array()) return out;
+  for (const JsonValue& b : h->arr) {
+    out.push_back(EngProfHistBucket{
+        num_at(&b, "le"),
+        static_cast<std::uint64_t>(num_at(&b, "count"))});
+  }
+  return out;
+}
+
+}  // namespace
+
+bool engprof_from_json(const JsonValue& doc, EngProfile& out,
+                       std::string& error) {
+  const JsonValue* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->str != "gemsd.engprof.v1") {
+    error = "not a gemsd.engprof.v1 document";
+    return false;
+  }
+  out = EngProfile{};
+  out.workers = static_cast<int>(num_at(&doc, "workers"));
+  out.windows = static_cast<std::uint64_t>(num_at(&doc, "windows"));
+  out.degenerate_windows =
+      static_cast<std::uint64_t>(num_at(&doc, "degenerate_windows"));
+  out.final_windows =
+      static_cast<std::uint64_t>(num_at(&doc, "final_windows"));
+  out.events = static_cast<std::uint64_t>(num_at(&doc, "events"));
+  const JsonValue* wall = doc.find("wall");
+  out.profiled_s = num_at(wall, "profiled_s");
+  out.windows_s = num_at(wall, "windows_s");
+  out.execute_s = num_at(wall, "execute_s");
+  out.critical_s = num_at(wall, "critical_s");
+  const JsonValue* sp = doc.find("speedup");
+  out.measured_speedup = num_at(sp, "measured");
+  out.speedup_bound = num_at(sp, "bound");
+  out.window_us_hist = hist_at(doc, "window_us_hist");
+  out.window_events_hist = hist_at(doc, "window_events_hist");
+  const JsonValue* lps = doc.find("lp");
+  if (lps && lps->is_array()) {
+    for (const JsonValue& l : lps->arr) {
+      EngProfLpStat st;
+      st.name = str_at(&l, "name");
+      st.windows_ran = static_cast<std::uint64_t>(num_at(&l, "windows_ran"));
+      st.critical_windows =
+          static_cast<std::uint64_t>(num_at(&l, "critical_windows"));
+      st.events = static_cast<std::uint64_t>(num_at(&l, "events"));
+      st.exec_s = num_at(&l, "exec_s");
+      st.idle_s = num_at(&l, "idle_s");
+      st.barrier_s = num_at(&l, "barrier_s");
+      const JsonValue* stall = l.find("stall_s");
+      st.stall_lookahead_s = num_at(stall, "lookahead");
+      st.stall_degenerate_s = num_at(stall, "degenerate");
+      st.stall_queue_empty_s = num_at(stall, "queue_empty");
+      out.lps.push_back(st);
+      out.lp_names.push_back(st.name);
+    }
+  }
+  const JsonValue* edges = doc.find("edges");
+  if (edges && edges->is_array()) {
+    for (const JsonValue& e : edges->arr) {
+      EngProfEdgeStat es;
+      es.src = static_cast<std::int16_t>(num_at(&e, "src"));
+      es.dst = static_cast<std::int16_t>(num_at(&e, "dst"));
+      es.lookahead = num_at(&e, "lookahead_us") * 1e-6;
+      es.windows_bound =
+          static_cast<std::uint64_t>(num_at(&e, "windows_bound"));
+      out.edges.push_back(es);
+    }
+  }
+  const JsonValue* ring = doc.find("ring");
+  out.ring_capacity = static_cast<std::size_t>(num_at(ring, "capacity"));
+  out.ring_dropped = static_cast<std::uint64_t>(num_at(ring, "dropped"));
+  return true;
+}
+
+namespace {
+
+void appendf(std::string& s, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+double hist_quantile(const std::vector<EngProfHistBucket>& h, double q) {
+  std::uint64_t total = 0;
+  for (const auto& b : h) total += b.count;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t acc = 0;
+  for (const auto& b : h) {
+    acc += b.count;
+    if (static_cast<double>(acc) >= target) return b.le;
+  }
+  return h.empty() ? 0.0 : h.back().le;
+}
+
+}  // namespace
+
+std::string format_engprof(const EngProfile& p, int top_k) {
+  std::string s;
+  appendf(s, "== engine parallelism profile ==\n");
+  appendf(s, "topology: %zu LPs, %d workers\n", p.lps.size(), p.workers);
+  appendf(s,
+          "windows: %" PRIu64 " (%" PRIu64 " degenerate, %" PRIu64
+          " final); events: %" PRIu64 "\n",
+          p.windows, p.degenerate_windows, p.final_windows, p.events);
+  appendf(s,
+          "wall: profiled %.3fs, execute %.3fs, critical path %.3fs\n",
+          p.profiled_s, p.execute_s, p.critical_s);
+  appendf(s,
+          "speedup: measured %.2fx <= bound %.2fx (parallel efficiency "
+          "%.0f%% of the bound)\n",
+          p.measured_speedup, p.speedup_bound,
+          p.speedup_bound > 0 ? 100.0 * p.measured_speedup / p.speedup_bound
+                              : 0.0);
+  const double w_p50 = hist_quantile(p.window_us_hist, 0.5);
+  const double e_p50 = hist_quantile(p.window_events_hist, 0.5);
+  appendf(s, "window width p50 <= %.0f us; events/window p50 <= %.0f\n",
+          w_p50, e_p50);
+
+  // Per-LP time classes. exec + idle + barrier tiles every window, so each
+  // row sums to the summed window wall time (the reconciliation check).
+  double stall_la = 0, stall_deg = 0, stall_qe = 0, worst_rel = 0;
+  for (const auto& st : p.lps) {
+    stall_la += st.stall_lookahead_s;
+    stall_deg += st.stall_degenerate_s;
+    stall_qe += st.stall_queue_empty_s;
+    if (p.windows_s > 0) {
+      const double sum = st.exec_s + st.idle_s + st.barrier_s;
+      worst_rel = std::max(worst_rel,
+                           std::abs(sum - p.windows_s) / p.windows_s);
+    }
+  }
+  appendf(s,
+          "stall by cause [LP-seconds]: lookahead-limited %.3f, degenerate "
+          "%.3f, queue-empty %.3f\n",
+          stall_la, stall_deg, stall_qe);
+  appendf(s, "reconciliation: worst |exec+idle+barrier - windows| = %.2f%% "
+             "of windows wall\n",
+          worst_rel * 100.0);
+
+  appendf(s, "\ntop straggler LPs (by critical windows):\n");
+  std::vector<std::size_t> order(p.lps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&p](std::size_t a, std::size_t b) {
+    const auto& x = p.lps[a];
+    const auto& y = p.lps[b];
+    if (x.critical_windows != y.critical_windows) {
+      return x.critical_windows > y.critical_windows;
+    }
+    if (x.exec_s != y.exec_s) return x.exec_s > y.exec_s;
+    return a < b;
+  });
+  appendf(s, "  %-16s %9s %8s %9s %9s %9s %10s\n", "lp", "critical",
+          "crit%", "exec[s]", "idle[s]", "barr[s]", "events");
+  const std::size_t rows =
+      std::min(order.size(), static_cast<std::size_t>(top_k < 0 ? 0 : top_k));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto& st = p.lps[order[r]];
+    appendf(s, "  %-16s %9" PRIu64 " %7.1f%% %9.3f %9.3f %9.3f %10" PRIu64
+               "\n",
+            st.name.c_str(), st.critical_windows,
+            p.windows > 0 ? 100.0 * static_cast<double>(st.critical_windows) /
+                                static_cast<double>(p.windows)
+                          : 0.0,
+            st.exec_s, st.idle_s, st.barrier_s, st.events);
+  }
+
+  appendf(s, "\nlimiting lookahead edges (by windows bound):\n");
+  if (p.edges.empty()) {
+    appendf(s, "  (none: no cross-LP edges, or only final windows)\n");
+  }
+  const std::size_t erows =
+      std::min(p.edges.size(), static_cast<std::size_t>(top_k < 0 ? 0 : top_k));
+  for (std::size_t r = 0; r < erows; ++r) {
+    const auto& e = p.edges[r];
+    appendf(s, "  %-16s -> %-16s la %8.1f us  bound %8" PRIu64
+               " windows (%.1f%%)\n",
+            lp_label(p, e.src).c_str(), lp_label(p, e.dst).c_str(),
+            e.lookahead * 1e6, e.windows_bound,
+            p.windows > 0 ? 100.0 * static_cast<double>(e.windows_bound) /
+                                static_cast<double>(p.windows)
+                          : 0.0);
+  }
+  if (p.ring_dropped > 0) {
+    appendf(s,
+            "\nnote: timeline ring kept the most recent %" PRIu64
+            " of %" PRIu64 " windows (%" PRIu64 " dropped)\n",
+            static_cast<std::uint64_t>(p.ring_capacity), p.windows,
+            p.ring_dropped);
+  }
+  return s;
+}
+
+}  // namespace gemsd::obs

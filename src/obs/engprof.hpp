@@ -1,0 +1,234 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gemsd::obs {
+
+struct JsonValue;
+
+/// Engine parallelism profiler (sim/engine.hpp, --engine-profile): wall-clock
+/// accounting of the safe-window protocol itself — per window, who executed
+/// for how long, who sat idle or at the barrier and why, and which lookahead
+/// edge set the horizon. Everything here measures the ENGINE, not the model:
+/// all timestamps are host wall-clock seconds, never simulated time, and the
+/// profiler mutates no simulation state, so results are bit-identical with
+/// profiling on or off at any worker count (ctest-gated) and none of its
+/// knobs enter config_json/config_hash or exported specs.
+///
+/// Accounting model. Windows tile the coordinator loop: a window's wall span
+/// runs from the top of one loop iteration (before outbox routing) to the top
+/// of the next, so coordinator overhead lands inside the window it precedes
+/// and the per-LP classes — execute (the LP's drain), idle (window start to
+/// drain start) and barrier (drain end to window end) — sum to the window
+/// wall span BY CONSTRUCTION, and over a run to the profiled wall time (the
+/// docs/observability.md reconciliation check). Stall time (idle + barrier,
+/// or the whole window for an LP that never ran) is attributed by cause:
+///   lookahead-limited   ran in a normal window; bounded by the horizon edge
+///   degenerate          zero-lookahead step serialized everyone else
+///   queue-empty         had no event below the bound (straggler's victim)
+///
+/// Speedup math. execute_s is the sum of all LP drain spans (the work);
+/// critical_s sums each window's LONGEST drain span (the part no worker
+/// count can compress — the critical LP per window). measured speedup =
+/// execute_s / profiled_s and its analytic bound = execute_s / critical_s;
+/// measured <= bound holds by construction since every window's wall span
+/// contains its longest drain span.
+///
+/// Threading. window_begin/window_end run on the coordinator between
+/// barriers. lp_ran may run on any worker, but each LP is drained by exactly
+/// one worker per window and writes only its own preallocated slot; the
+/// engine's completion barrier orders those writes before the coordinator's
+/// window_end reads (TSan-gated).
+
+/// How a window was bounded.
+enum class EngWindowKind : std::uint8_t {
+  Normal,      ///< bounded by t_min + min lookahead (exclusive)
+  Final,       ///< bounded by the run_until end time (inclusive)
+  Degenerate,  ///< zero-lookahead collapse: one serialized LP step
+};
+const char* to_string(EngWindowKind k);
+
+/// One LP's activity inside one recorded window (ring payload). Times are
+/// wall seconds since the profiler epoch; worker < 0 = the LP did not run.
+struct EngProfLpSlot {
+  double exec_start_s = 0;
+  double exec_end_s = 0;
+  std::uint64_t events = 0;
+  std::int16_t worker = -1;
+};
+
+/// One recorded window (ring header). The matching LP slots live at
+/// [index * num_lps, (index + 1) * num_lps) of EngProfile::ring_slots.
+struct EngProfWindow {
+  std::uint64_t seq = 0;        ///< window number since profiling started
+  sim::SimTime t_min = 0;       ///< simulated window start
+  sim::SimTime bound = 0;       ///< simulated execute bound (== t_min when degenerate)
+  EngWindowKind kind = EngWindowKind::Normal;
+  std::int16_t limit_src = -1;  ///< limiting lookahead edge (-1 = no edges)
+  std::int16_t limit_dst = -1;
+  double wall_start_s = 0;
+  double wall_end_s = 0;
+};
+
+/// Whole-run accumulators for one LP.
+struct EngProfLpStat {
+  std::string name;
+  std::uint64_t windows_ran = 0;      ///< windows this LP executed in
+  std::uint64_t critical_windows = 0; ///< windows where it had the longest drain
+  std::uint64_t events = 0;
+  double exec_s = 0;
+  double idle_s = 0;     ///< window start -> drain start (whole window if idle)
+  double barrier_s = 0;  ///< drain end -> window end
+  // idle_s + barrier_s split by cause (each sums over different windows):
+  double stall_lookahead_s = 0;
+  double stall_degenerate_s = 0;
+  double stall_queue_empty_s = 0;
+};
+
+/// One limiting lookahead edge: how many windows it set the horizon of.
+/// Final windows are bounded by the run end, not an edge, and do not count.
+struct EngProfEdgeStat {
+  std::int16_t src = -1;
+  std::int16_t dst = -1;
+  sim::SimTime lookahead = 0;
+  std::uint64_t windows_bound = 0;
+};
+
+/// Histogram bucket: count of observations <= `le` (log2-spaced; the last
+/// bucket has le < 0 and catches everything larger).
+struct EngProfHistBucket {
+  double le = 0;
+  std::uint64_t count = 0;
+};
+
+/// Immutable profile snapshot: the aggregates behind the gemsd.engprof.v1
+/// document plus the window ring behind the wall-clock timeline export.
+struct EngProfile {
+  int workers = 1;
+  std::vector<std::string> lp_names;
+
+  std::uint64_t windows = 0;
+  std::uint64_t degenerate_windows = 0;
+  std::uint64_t final_windows = 0;
+  std::uint64_t events = 0;
+
+  double profiled_s = 0;  ///< first window start -> last window end (wall)
+  double windows_s = 0;   ///< sum of window wall spans (== profiled_s minus
+                          ///< the final partial loop iteration)
+  double execute_s = 0;   ///< sum of all LP drain spans
+  double critical_s = 0;  ///< sum of each window's longest drain span
+
+  double measured_speedup = 0;  ///< execute_s / profiled_s
+  double speedup_bound = 0;     ///< execute_s / critical_s (>= measured)
+
+  std::vector<EngProfHistBucket> window_us_hist;  ///< simulated width [us]
+  std::vector<EngProfHistBucket> window_events_hist;
+
+  std::vector<EngProfLpStat> lps;      ///< by LpId
+  std::vector<EngProfEdgeStat> edges;  ///< windows_bound desc, then (src,dst)
+
+  std::size_t ring_capacity = 0;
+  std::uint64_t ring_dropped = 0;       ///< windows overwritten in the ring
+  std::vector<EngProfWindow> ring;      ///< chronological, most recent tail
+  std::vector<EngProfLpSlot> ring_slots;  ///< ring.size() * lp_names.size()
+};
+
+class EngProfiler {
+ public:
+  /// window_capacity bounds the timeline ring (per-run memory is
+  /// window_capacity * (num_lps + 1) small PODs); aggregates cover the whole
+  /// run regardless and ring overwrites are counted in ring_dropped.
+  explicit EngProfiler(std::size_t window_capacity = std::size_t{1} << 14);
+
+  /// Wall seconds since the profiler epoch (monotonic clock).
+  double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  /// Engine topology; called by the engine before its first window
+  /// (idempotent — repeated run_until calls re-attach harmlessly).
+  void attach(int workers, std::vector<std::string> lp_names);
+
+  /// Coordinator: a window spans [wall_start_s, now at window_end).
+  void window_begin(double wall_start_s, sim::SimTime t_min, sim::SimTime bound,
+                    EngWindowKind kind, int limit_src, int limit_dst,
+                    sim::SimTime limit_la);
+  /// Any worker (disjoint slots, ordered by the engine barrier): one LP's
+  /// drain span within the current window.
+  void lp_ran(int lp, int worker, double exec_start_s, double exec_end_s,
+              std::uint64_t events);
+  /// Coordinator, after the barrier: close the window and fold it into the
+  /// aggregates and the ring.
+  void window_end();
+
+  EngProfile snapshot() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  int workers_ = 1;
+  std::size_t num_lps_ = 0;
+  bool attached_ = false;
+
+  // Current window (coordinator-owned header, worker-owned disjoint slots).
+  EngProfWindow cur_;
+  sim::SimTime cur_limit_la_ = 0;
+  bool open_ = false;
+  std::vector<EngProfLpSlot> slots_;
+
+  // Whole-run aggregates.
+  std::uint64_t windows_ = 0, degenerate_ = 0, final_ = 0, events_ = 0;
+  double first_window_start_s_ = -1, last_window_end_s_ = 0;
+  double windows_s_ = 0, execute_s_ = 0, critical_s_ = 0;
+  std::vector<EngProfLpStat> lps_;
+  std::map<std::pair<int, int>, EngProfEdgeStat> edges_;
+  std::vector<std::uint64_t> width_hist_, events_hist_;
+
+  // Bounded window ring.
+  std::size_t cap_;
+  std::vector<EngProfWindow> ring_;
+  std::vector<EngProfLpSlot> ring_slots_;
+  std::size_t head_ = 0;   ///< next write position once full
+  std::size_t count_ = 0;  ///< recorded windows (<= cap_)
+  std::uint64_t ring_dropped_ = 0;
+};
+
+/// "gemsd.engprof.v1" document (schemas/engprof.schema.json). `metadata`
+/// entries are {key, pre-serialized JSON value} pairs merged after the schema
+/// key (git describe, config hash, ...). Aggregates only — the window ring is
+/// exported separately by engprof_chrome_json. Deterministic layout; the
+/// values are wall-clock measurements and differ between runs by nature.
+std::string engprof_json(
+    const EngProfile& p,
+    const std::vector<std::pair<std::string, std::string>>& metadata);
+
+/// Wall-clock Perfetto/Chrome timeline of the window ring: one track per
+/// worker (drain spans named by LP), one per LP (exec/idle/barrier spans with
+/// the stall cause), and a windows track with the bounds and limiting edge.
+/// Timestamps are wall microseconds since the profiler epoch — a different
+/// time base from the simulated-time trace (obs/trace.hpp), hence a separate
+/// file and the gemsd.engprof.trace.v1 schema tag.
+std::string engprof_chrome_json(
+    const EngProfile& p,
+    const std::vector<std::pair<std::string, std::string>>& metadata);
+
+/// Parse a gemsd.engprof.v1 document back into the aggregate fields (the
+/// ring stays empty — the report does not need it). Returns false and fills
+/// `error` on a document that is not an engprof profile.
+bool engprof_from_json(const JsonValue& doc, EngProfile& out,
+                       std::string& error);
+
+/// Human-readable report (gemsd_analyze --engine-profile): top straggler LPs,
+/// limiting edges ranked by windows bound, stall time by cause, and measured
+/// vs bound speedup. Deterministic bytes for a given profile.
+std::string format_engprof(const EngProfile& p, int top_k = 10);
+
+}  // namespace gemsd::obs

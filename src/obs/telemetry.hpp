@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "sim/time.hpp"
 
 namespace gemsd::obs {
+
+struct EngProfile;
 
 /// One periodic-sampler observation (taken every ObsConfig::sample_every
 /// simulated seconds, from t=0 — warm-up included, so convergence is
@@ -106,6 +109,10 @@ struct RunTelemetry {
   bool trace_enabled = false;
   std::vector<TraceEvent> events;    ///< measurement-interval trace
   std::uint64_t events_dropped = 0;  ///< overwritten in the ring
+
+  /// Engine parallelism profile (--engine-profile; null when off). Wall-clock
+  /// measurements of the engine itself — the only nondeterministic telemetry.
+  std::shared_ptr<const EngProfile> engprof;
 };
 
 /// Serialize a run's trace as Chrome trace-event JSON (loadable in Perfetto

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/engprof.hpp"
+
 namespace gemsd::sim {
 
 namespace {
@@ -34,7 +36,7 @@ Engine::Engine(EngineKind kind, int workers) : kind_(kind) {
   // Worker threads beyond the coordinator; the coordinator always
   // participates in draining a window, so workers_ == 1 needs no pool.
   for (int w = 1; w < workers_; ++w) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -62,7 +64,7 @@ Lp& Engine::add_lp(std::string name) {
     }
   }
   lookahead_ = std::move(grown);
-  min_lookahead_cache_ = -1.0;
+  min_edge_valid_ = false;
   return *lps_.back();
 }
 
@@ -77,7 +79,7 @@ void Engine::set_lookahead(LpId src, LpId dst, SimTime la) {
   }
   lookahead_[static_cast<std::size_t>(src) * n +
              static_cast<std::size_t>(dst)] = la;
-  min_lookahead_cache_ = -1.0;
+  min_edge_valid_ = false;
 }
 
 SimTime Engine::edge_lookahead(LpId src, LpId dst) const {
@@ -96,13 +98,26 @@ SimTime Engine::edge_lookahead(LpId src, LpId dst) const {
   return la;
 }
 
-SimTime Engine::min_lookahead() const {
-  if (min_lookahead_cache_ >= 0.0) return min_lookahead_cache_;
-  SimTime m = kInf;
-  for (const SimTime la : lookahead_) {
-    if (!std::isnan(la)) m = std::min(m, la);
+Engine::MinEdge Engine::min_edge() const {
+  if (min_edge_valid_) return min_edge_cache_;
+  MinEdge m;
+  m.la = kInf;
+  const auto n = lps_.size();
+  // Row-major scan with strict < keeps the argmin deterministic: among
+  // equally tight edges the smallest (src, dst) wins and is the one the
+  // profiler reports as limiting.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const SimTime la = lookahead_[s * n + d];
+      if (!std::isnan(la) && la < m.la) {
+        m.la = la;
+        m.src = static_cast<LpId>(s);
+        m.dst = static_cast<LpId>(d);
+      }
+    }
   }
-  min_lookahead_cache_ = m;
+  min_edge_cache_ = m;
+  min_edge_valid_ = true;
   return m;
 }
 
@@ -133,20 +148,32 @@ void Engine::route_outboxes() {
   staged_.clear();
 }
 
-void Engine::drain_ready() {
+void Engine::drain_ready(int worker) {
+  // Snapshot prof_ once: set_profiler happens between runs, never mid-window.
+  obs::EngProfiler* const prof = prof_;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= ready_.size()) return;
-    Scheduler& s = ready_[i]->sched_;
+    Lp* const lp = ready_[i];
+    Scheduler& s = lp->sched_;
+    const double t0 = prof ? prof->now_s() : 0.0;
+    const std::uint64_t e0 = prof ? s.events_processed() : 0;
     if (window_inclusive_) {
       s.run_until(window_bound_);
     } else {
       s.run_before(window_bound_);
     }
+    if (prof) {
+      // Each LP is claimed by exactly one worker per window and the slot is
+      // preallocated per LP, so this write is race-free; the completion
+      // barrier orders it before the coordinator's window_end.
+      prof->lp_ran(static_cast<int>(lp->id()), worker, t0, prof->now_s(),
+                   s.events_processed() - e0);
+    }
   }
 }
 
-void Engine::worker_loop() {
+void Engine::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     {
@@ -156,7 +183,7 @@ void Engine::worker_loop() {
       seen = epoch_;
     }
     try {
-      drain_ready();
+      drain_ready(worker);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mutex_);
       if (!worker_error_) worker_error_ = std::current_exception();
@@ -177,7 +204,7 @@ void Engine::run_ready(SimTime bound, bool inclusive) {
   window_inclusive_ = inclusive;
   next_.store(0, std::memory_order_relaxed);
   if (threads_.empty() || ready_.size() == 1) {
-    drain_ready();
+    drain_ready(0);
     return;
   }
   {
@@ -187,7 +214,7 @@ void Engine::run_ready(SimTime bound, bool inclusive) {
   }
   cv_start_.notify_all();
   try {
-    drain_ready();
+    drain_ready(0);
   } catch (...) {
     std::lock_guard<std::mutex> lk(mutex_);
     if (!worker_error_) worker_error_ = std::current_exception();
@@ -209,7 +236,19 @@ std::uint64_t Engine::total_events() const {
 
 std::uint64_t Engine::run_until(SimTime end) {
   const std::uint64_t before = total_events();
+  obs::EngProfiler* const prof = prof_;
+  if (prof) {
+    std::vector<std::string> names;
+    names.reserve(lps_.size());
+    for (const auto& lp : lps_) names.push_back(lp->name());
+    prof->attach(workers_, std::move(names));  // idempotent across calls
+  }
   for (;;) {
+    // Windows tile the loop: a window's wall span starts at the top of the
+    // iteration (before outbox routing) so coordinator overhead is charged
+    // to the window it precedes and the per-LP execute/idle/barrier classes
+    // sum to the window wall span by construction.
+    const double wall_top = prof ? prof->now_s() : 0.0;
     route_outboxes();
     SimTime t_min = kInf;
     for (const auto& lp : lps_) {
@@ -217,13 +256,19 @@ std::uint64_t Engine::run_until(SimTime end) {
     }
     if (t_min > end) break;  // also: every queue empty (t_min == inf)
     ++windows_;
-    const SimTime horizon = t_min + min_lookahead();
+    const MinEdge edge = min_edge();
+    const SimTime horizon = t_min + edge.la;
     if (horizon > end) {
       // Everything up to `end` is already safe: one final inclusive window
       // (messages produced here arrive at >= horizon > end). With a single
       // LP — or no registered edges at all — this is the only window, and
       // the engine adds nothing to plain Scheduler::run_until.
+      if (prof) {
+        prof->window_begin(wall_top, t_min, end, obs::EngWindowKind::Final,
+                           edge.src, edge.dst, edge.la);
+      }
       run_ready(end, true);
+      if (prof) prof->window_end();
     } else if (horizon <= t_min) {
       // A zero-lookahead edge (or one below the floating-point resolution
       // of t_min) leaves no safe window. Degenerate to one serialized step:
@@ -239,12 +284,31 @@ std::uint64_t Engine::run_until(SimTime end) {
           pick = lp.get();
         }
       }
-      pick->sched_.run_until(best);
+      if (prof) {
+        prof->window_begin(wall_top, t_min, t_min,
+                           obs::EngWindowKind::Degenerate, edge.src, edge.dst,
+                           edge.la);
+        const double t0 = prof->now_s();
+        const std::uint64_t e0 = pick->sched_.events_processed();
+        pick->sched_.run_until(best);
+        prof->lp_ran(static_cast<int>(pick->id()), 0, t0, prof->now_s(),
+                     pick->sched_.events_processed() - e0);
+        prof->window_end();
+      } else {
+        pick->sched_.run_until(best);
+      }
     } else {
+      if (prof) {
+        prof->window_begin(wall_top, t_min, horizon,
+                           obs::EngWindowKind::Normal, edge.src, edge.dst,
+                           edge.la);
+      }
       run_ready(horizon, false);
+      if (prof) prof->window_end();
     }
   }
-  // Advance every LP clock to end (no events remain at or below it).
+  // Advance every LP clock to end (no events remain at or below it, so no
+  // work happens here and the profiler does not count it).
   for (auto& lp : lps_) lp->sched_.run_until(end);
   return total_events() - before;
 }

@@ -13,6 +13,10 @@
 #include "sim/lp.hpp"
 #include "sim/time.hpp"
 
+namespace gemsd::obs {
+class EngProfiler;
+}
+
 namespace gemsd::sim {
 
 /// Counters the engine keeps about its own execution. Everything here is a
@@ -80,27 +84,48 @@ class Engine {
   /// Snapshot of the engine self-metrics (stable across identical runs).
   EngineStats stats() const;
 
+  /// Attach the opt-in wall-clock parallelism profiler (obs/engprof.hpp), or
+  /// detach with nullptr. Observation only: the profiler reads worker/LP
+  /// wall-clock spans and never touches simulation state, so results stay
+  /// bit-identical with it on or off at any worker count. The profiler must
+  /// outlive every run_until made while attached.
+  void set_profiler(obs::EngProfiler* p) { prof_ = p; }
+
+  /// Safe windows executed so far (grows while run_until is in progress on
+  /// the coordinator; used by the --progress heartbeat).
+  std::uint64_t windows_executed() const { return windows_; }
+
  private:
   friend class Lp;
 
   /// Registered lookahead of the src -> dst edge; throws on an edge that was
   /// never registered (the horizon computation would be unsound).
   SimTime edge_lookahead(LpId src, LpId dst) const;
-  SimTime min_lookahead() const;
+  /// The minimum registered lookahead edge (row-major argmin over the edge
+  /// matrix — deterministic). la = +inf and src = dst = -1 when no edges are
+  /// registered.
+  struct MinEdge {
+    SimTime la = 0;
+    LpId src = -1;
+    LpId dst = -1;
+  };
+  MinEdge min_edge() const;
   void route_outboxes();
   /// Run every LP with an event below the bound, on the worker pool when one
   /// exists. inclusive selects run_until (t <= bound) vs run_before
   /// (t < bound) semantics.
   void run_ready(SimTime bound, bool inclusive);
-  void drain_ready();
-  void worker_loop();
+  void drain_ready(int worker);
+  void worker_loop(int worker);
   std::uint64_t total_events() const;
 
   EngineKind kind_;
   int workers_;
   std::vector<std::unique_ptr<Lp>> lps_;
   std::vector<SimTime> lookahead_;  ///< n*n matrix; NaN = unregistered
-  mutable SimTime min_lookahead_cache_ = -1.0;  ///< < 0 = stale
+  mutable MinEdge min_edge_cache_;
+  mutable bool min_edge_valid_ = false;
+  obs::EngProfiler* prof_ = nullptr;
 
   std::uint64_t windows_ = 0;
   std::uint64_t degenerate_windows_ = 0;

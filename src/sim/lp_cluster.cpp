@@ -1,10 +1,12 @@
 #include "sim/lp_cluster.hpp"
 
+#include <algorithm>
 #include <coroutine>
 #include <cstring>
 #include <memory>
 #include <vector>
 
+#include "obs/engprof.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
@@ -76,6 +78,21 @@ struct Cluster {
     }
     server_ports = std::make_unique<Resource>(fab.sched(cfg.nodes),
                                               cfg.server_ports, "lockeng");
+    if (cfg.trace_capacity > 0) {
+      // One recorder per component — node LPs and the lock-engine LP each
+      // record into their own ring. Under the parallel engine different LPs
+      // drain on different workers, so a shared recorder would race; disjoint
+      // rings merged after the run keep tracing race-free AND deterministic.
+      recorders.reserve(static_cast<std::size_t>(cfg.nodes) + 1);
+      for (int i = 0; i <= cfg.nodes; ++i) {
+        recorders.emplace_back(cfg.trace_capacity);
+      }
+    }
+  }
+
+  obs::TraceRecorder* rec(int comp) {
+    return recorders.empty() ? nullptr
+                             : &recorders[static_cast<std::size_t>(comp)];
   }
 
   void start() {
@@ -104,6 +121,7 @@ struct Cluster {
     Rng rng;
     std::vector<std::uint64_t> ws;  ///< buffer working set (may be empty)
     std::uint64_t cursor = 0;       ///< chase continuation point
+    std::uint64_t txn_seq = 0;      ///< per-node transaction id sequence
     std::uint64_t commits = 0;
     std::uint64_t remote = 0;
     std::uint64_t digest = 0;
@@ -135,16 +153,29 @@ struct Cluster {
   Task<void> txn_worker(int n) {
     NodeState& nd = nodes[static_cast<std::size_t>(n)];
     Scheduler& s = fab.sched(n);
+    obs::TraceRecorder* const tr = rec(n);
+    // Node 0 optionally runs longer transactions — the deterministic
+    // straggler whose window-limiting drains the engine profiler attributes.
+    const int requests =
+        cfg.requests_per_txn + (n == 0 ? cfg.straggler_extra_requests : 0);
     while (nd.commits < cfg.txns_per_node) {
-      for (int r = 0; r < cfg.requests_per_txn; ++r) {
+      const std::uint64_t txn_id =
+          (static_cast<std::uint64_t>(n + 1) << 32) | ++nd.txn_seq;
+      const SimTime txn_start = s.now();
+      for (int r = 0; r < requests; ++r) {
         co_await s.delay(nd.rng.exponential(cfg.cpu_burst_mean));
         if (nd.rng.uniform() < cfg.remote_fraction) {
           ++nd.remote;
+          const SimTime wait_start = s.now();
           co_await s.suspend([this, n, &s](std::coroutine_handle<> h) {
             fab.send(n, cfg.nodes, s.now() + cfg.msg_latency,
                      [this, n, h] { fab.sched(cfg.nodes).spawn(serve(n, h)); });
           });
           nd.digest = mix(nd.digest, time_bits(s.now()));  // grant time
+          if (tr) {
+            tr->span(obs::TraceName::kLockWait, static_cast<std::int16_t>(n),
+                     txn_id, wait_start, s.now());
+          }
         } else {
           co_await s.delay(cfg.local_service);
           if (!nd.ws.empty()) chase(nd);
@@ -154,6 +185,10 @@ struct Cluster {
       ++nd.commits;
       nd.last_commit = s.now();
       nd.digest = mix(nd.digest, nd.commits);
+      if (tr) {
+        tr->span(obs::TraceName::kTxn, static_cast<std::int16_t>(n), txn_id,
+                 txn_start, s.now());
+      }
     }
   }
 
@@ -161,9 +196,16 @@ struct Cluster {
   /// that resumes the waiting transaction back on its node.
   Task<void> serve(int n, std::coroutine_handle<> h) {
     Scheduler& ss = fab.sched(cfg.nodes);
+    const SimTime arrival = ss.now();
     co_await server_ports->use(cfg.server_service);
     server_digest = mix(server_digest, (std::uint64_t(n) << 32) | ++server_ops);
     server_digest = mix(server_digest, time_bits(ss.now()));
+    if (obs::TraceRecorder* const tr = rec(cfg.nodes)) {
+      // Port wait + service on the lock-engine LP, id = (node, op seq).
+      tr->span(obs::TraceName::kGemAccess,
+               static_cast<std::int16_t>(cfg.nodes),
+               (std::uint64_t(n + 1) << 32) | server_ops, arrival, ss.now());
+    }
     fab.send(cfg.nodes, n, ss.now() + cfg.msg_latency, [h] { h.resume(); });
   }
 
@@ -177,6 +219,18 @@ struct Cluster {
       digest = mix(digest, nd.digest);
     }
     r.checksum = digest;
+    // Deterministic trace merge: append ring snapshots in component order,
+    // then stable-sort by (time, component) — per-recorder order survives
+    // ties, so the merged trace is identical at any worker count.
+    for (const obs::TraceRecorder& tr : recorders) {
+      const std::vector<obs::TraceEvent> ev = tr.snapshot();
+      r.trace.insert(r.trace.end(), ev.begin(), ev.end());
+      r.trace_dropped += tr.dropped();
+    }
+    std::stable_sort(r.trace.begin(), r.trace.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       return a.t != b.t ? a.t < b.t : a.node < b.node;
+                     });
     return r;
   }
 
@@ -184,6 +238,7 @@ struct Cluster {
   Fabric& fab;
   std::vector<NodeState> nodes;
   std::unique_ptr<Resource> server_ports;
+  std::vector<obs::TraceRecorder> recorders;  ///< per component; maybe empty
   std::uint64_t server_digest = 0;
   std::uint64_t server_ops = 0;
 };
@@ -196,6 +251,7 @@ constexpr SimTime kDrainHorizon = 1e9;
 
 LpClusterResult run_lp_cluster(const LpClusterConfig& cfg) {
   EngineFabric fab(cfg);
+  if (cfg.profiler) fab.engine.set_profiler(cfg.profiler);
   Cluster cluster(cfg, fab);
   cluster.start();
   fab.engine.run_until(kDrainHorizon);

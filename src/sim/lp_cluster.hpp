@@ -1,9 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine_kind.hpp"
 #include "sim/time.hpp"
+
+namespace gemsd::obs {
+class EngProfiler;
+}
 
 namespace gemsd::sim {
 
@@ -39,6 +45,21 @@ struct LpClusterConfig {
   std::uint64_t seed = 42;
   EngineKind kind = EngineKind::Sequential;
   int workers = 0;                 ///< parallel workers (0 = hw concurrency)
+  /// Extra requests per transaction on node 0 only: turns node 0 into a
+  /// deterministic straggler LP — the worked example for the engine
+  /// profiler's stall attribution (docs/observability.md).
+  int straggler_extra_requests = 0;
+  /// Per-LP trace ring capacity (0 = tracing off). Each component — every
+  /// node LP and the lock-engine LP — records into its OWN ring (a shared
+  /// recorder would race under the parallel engine); the rings are merged
+  /// deterministically into LpClusterResult::trace after the run. Spans:
+  /// kTxn per transaction, kLockWait per remote round trip (node side),
+  /// kGemAccess per request (server side). Recording never touches
+  /// simulation state, so the checksum is unaffected.
+  std::size_t trace_capacity = 0;
+  /// Optional engine parallelism profiler (obs/engprof.hpp) attached to the
+  /// run's engine. Wall-clock only — does not perturb results.
+  obs::EngProfiler* profiler = nullptr;
 };
 
 struct LpClusterResult {
@@ -54,6 +75,11 @@ struct LpClusterResult {
   /// determinism tests' one-number witness.
   std::uint64_t checksum = 0;
   SimTime makespan = 0;            ///< last commit time
+  /// Merged per-LP trace spans (empty unless cfg.trace_capacity > 0),
+  /// ordered by (time, component) with per-recorder order preserved on
+  /// ties — identical across engine kinds and worker counts.
+  std::vector<obs::TraceEvent> trace;
+  std::uint64_t trace_dropped = 0;  ///< ring overwrites summed over all LPs
 };
 
 /// Run the cluster on the safe-window engine. Deterministic: the result —

@@ -119,9 +119,15 @@ std::uint64_t Scheduler::run_until(SimTime end) {
     dispatch(ev);
     drain_dead();
     ++n;
+    // Kept live per event (not folded in at loop exit) so the progress
+    // heartbeat sees a moving count mid-segment.
+    ++processed_;
+    if (progress_every_ != 0 && --progress_left_ == 0) {
+      progress_left_ = progress_every_;
+      progress_cb_();
+    }
   }
   now_ = end;
-  processed_ += n;
   return n;
 }
 
@@ -133,8 +139,14 @@ std::uint64_t Scheduler::run_before(SimTime end) {
     dispatch(ev);
     drain_dead();
     ++n;
+    // Kept live per event (not folded in at loop exit) so the progress
+    // heartbeat sees a moving count mid-segment.
+    ++processed_;
+    if (progress_every_ != 0 && --progress_left_ == 0) {
+      progress_left_ = progress_every_;
+      progress_cb_();
+    }
   }
-  processed_ += n;
   return n;
 }
 
@@ -146,8 +158,14 @@ std::uint64_t Scheduler::run_all() {
     dispatch(ev);
     drain_dead();
     ++n;
+    // Kept live per event (not folded in at loop exit) so the progress
+    // heartbeat sees a moving count mid-segment.
+    ++processed_;
+    if (progress_every_ != 0 && --progress_left_ == 0) {
+      progress_left_ = progress_every_;
+      progress_cb_();
+    }
   }
-  processed_ += n;
   return n;
 }
 

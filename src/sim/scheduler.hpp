@@ -103,6 +103,17 @@ class Scheduler {
   /// Internal: called from a finished root task's final suspend.
   void reap(std::coroutine_handle<> h);
 
+  /// Invoke `cb` after every `every` processed events (0 disables). The hook
+  /// is observation-only plumbing for the --progress heartbeat: it costs one
+  /// predictable branch on the event loop when disabled and must not mutate
+  /// simulation state (it runs between events, so any mutation would change
+  /// results). `cb` must outlive the scheduler or be cleared first.
+  void set_progress_hook(std::function<void()> cb, std::uint64_t every) {
+    progress_cb_ = std::move(cb);
+    progress_every_ = progress_cb_ ? every : 0;
+    progress_left_ = progress_every_;
+  }
+
  private:
   /// Flat-heap entry. `key` is (seq << 1) | is_callback: the sequence number
   /// gives FIFO order among same-timestamp events (identical to the old
@@ -138,6 +149,9 @@ class Scheduler {
   std::uint64_t processed_ = 0;
   std::unordered_set<void*> roots_;
   std::vector<std::coroutine_handle<>> dead_;
+  std::function<void()> progress_cb_;
+  std::uint64_t progress_every_ = 0;  ///< 0 = hook disabled
+  std::uint64_t progress_left_ = 0;
 };
 
 namespace detail {

@@ -1,0 +1,493 @@
+// Engine parallelism profiler tests (obs/engprof.hpp, --engine-profile):
+// the accounting invariants (classes tile windows, measured speedup <= its
+// critical-LP bound), the bounded ring, the gemsd.engprof.v1 document
+// (schema, round trip, report), and — the contract everything else rests
+// on — bit-identical simulation results with profiling on or off at any
+// worker count. Suite names start with "EngProf"/"LpCluster" so the TSan CI
+// job covers the cross-thread lp_ran/window_end hand-off.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/config_file.hpp"
+#include "core/experiment.hpp"
+#include "obs/engprof.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/engine.hpp"
+#include "sim/lp_cluster.hpp"
+#include "sim/scheduler.hpp"
+
+#ifndef GEMSD_SOURCE_DIR
+#define GEMSD_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using namespace gemsd;
+using namespace gemsd::sim;
+
+LpClusterConfig profiled_cluster() {
+  LpClusterConfig c;
+  c.nodes = 4;
+  c.mpl = 8;
+  c.txns_per_node = 50;
+  c.requests_per_txn = 5;
+  c.remote_fraction = 0.3;
+  c.straggler_extra_requests = 10;  // node0 = deterministic straggler
+  return c;
+}
+
+// --- manual accounting ----------------------------------------------------
+
+// Hand-fed windows: the aggregates must reproduce the arithmetic exactly.
+TEST(EngProfAccounting, ClassesTileWindowsAndCriticalSums) {
+  obs::EngProfiler prof(8);
+  prof.attach(2, {"a", "b"});
+
+  // Window 0 [wall 0,10): a drains [1,4) (3s), b drains [2,8) (6s).
+  prof.window_begin(0.0, 1.0, 2.0, obs::EngWindowKind::Normal, 0, 1, 1.0);
+  prof.lp_ran(0, 0, 1.0, 4.0, 100);
+  prof.lp_ran(1, 1, 2.0, 8.0, 200);
+  // window_end stamps "now" as the wall end; the next window's begin is what
+  // actually closes this one for the tiling math, passed explicitly here.
+  prof.window_end();
+
+  const obs::EngProfile p = prof.snapshot();
+  EXPECT_EQ(p.windows, 1u);
+  EXPECT_EQ(p.events, 300u);
+  EXPECT_DOUBLE_EQ(p.execute_s, 9.0);     // 3 + 6
+  EXPECT_DOUBLE_EQ(p.critical_s, 6.0);    // b's drain
+  EXPECT_EQ(p.lps[0].windows_ran, 1u);
+  EXPECT_EQ(p.lps[1].critical_windows, 1u);
+  EXPECT_EQ(p.lps[0].critical_windows, 0u);
+  // a: idle [0,1) + barrier [4,end); b: idle [0,2) + barrier [8,end).
+  EXPECT_DOUBLE_EQ(p.lps[0].idle_s, 1.0);
+  EXPECT_DOUBLE_EQ(p.lps[1].idle_s, 2.0);
+  // Both ran in a normal window -> lookahead-limited stall.
+  EXPECT_DOUBLE_EQ(p.lps[0].stall_lookahead_s,
+                   p.lps[0].idle_s + p.lps[0].barrier_s);
+  EXPECT_DOUBLE_EQ(p.lps[1].stall_degenerate_s, 0.0);
+  // Classes tile the window wall span for every LP. window_end() stamps the
+  // REAL clock as the wall end (the fabricated drain spans sit far past it),
+  // so the identity holds algebraically but with cancellation — hence NEAR.
+  for (const obs::EngProfLpStat& lp : p.lps) {
+    EXPECT_NEAR(lp.exec_s + lp.idle_s + lp.barrier_s, p.windows_s, 1e-9);
+  }
+  // The limiting edge was charged.
+  ASSERT_EQ(p.edges.size(), 1u);
+  EXPECT_EQ(p.edges[0].src, 0);
+  EXPECT_EQ(p.edges[0].dst, 1);
+  EXPECT_EQ(p.edges[0].windows_bound, 1u);
+}
+
+TEST(EngProfAccounting, QueueEmptyLpChargedForWholeWindow) {
+  obs::EngProfiler prof(8);
+  prof.attach(1, {"busy", "empty"});
+  prof.window_begin(0.0, 0.0, 1.0, obs::EngWindowKind::Normal, 0, 1, 1.0);
+  prof.lp_ran(0, 0, 0.0, 2.0, 10);
+  prof.window_end();
+
+  const obs::EngProfile p = prof.snapshot();
+  EXPECT_EQ(p.lps[1].windows_ran, 0u);
+  EXPECT_DOUBLE_EQ(p.lps[1].exec_s, 0.0);
+  // The idle LP's whole window is queue-empty stall, and still tiles.
+  EXPECT_DOUBLE_EQ(p.lps[1].stall_queue_empty_s, p.windows_s);
+  EXPECT_DOUBLE_EQ(p.lps[1].idle_s + p.lps[1].barrier_s, p.windows_s);
+}
+
+TEST(EngProfAccounting, RingIsBoundedAndChronological) {
+  obs::EngProfiler prof(4);
+  prof.attach(1, {"a"});
+  for (int w = 0; w < 10; ++w) {
+    prof.window_begin(w, w, w + 1, obs::EngWindowKind::Normal, -1, -1, 1.0);
+    prof.lp_ran(0, 0, w, w + 0.5, 1);
+    prof.window_end();
+  }
+  const obs::EngProfile p = prof.snapshot();
+  EXPECT_EQ(p.windows, 10u);            // aggregates cover everything
+  EXPECT_EQ(p.ring_capacity, 4u);
+  ASSERT_EQ(p.ring.size(), 4u);         // ring holds the most recent tail
+  EXPECT_EQ(p.ring_dropped, 6u);
+  for (std::size_t i = 0; i < p.ring.size(); ++i) {
+    EXPECT_EQ(p.ring[i].seq, 6 + i);
+  }
+  EXPECT_EQ(p.ring_slots.size(), p.ring.size() * p.lp_names.size());
+}
+
+// --- real engine, all kinds and worker counts -----------------------------
+
+// The inertness contract: results bit-identical with the profiler attached,
+// across both engine kinds and 1/2/4 workers; and the profile itself honors
+// its invariants (tiling reconciliation within 1%, measured <= bound).
+TEST(EngProfEngine, InertAndReconcilesAcrossKindsAndWorkers) {
+  LpClusterConfig base = profiled_cluster();
+  const LpClusterResult plain = run_lp_cluster(base);
+  ASSERT_GT(plain.commits, 0u);
+
+  struct Variant {
+    EngineKind kind;
+    int workers;
+  };
+  for (const Variant v : {Variant{EngineKind::Sequential, 0},
+                          Variant{EngineKind::Parallel, 1},
+                          Variant{EngineKind::Parallel, 2},
+                          Variant{EngineKind::Parallel, 4}}) {
+    LpClusterConfig cfg = base;
+    cfg.kind = v.kind;
+    cfg.workers = v.workers;
+    obs::EngProfiler prof;
+    cfg.profiler = &prof;
+    const LpClusterResult r = run_lp_cluster(cfg);
+    const std::string what = "kind " + std::to_string(int(v.kind)) +
+                             " workers " + std::to_string(v.workers);
+    EXPECT_EQ(r.checksum, plain.checksum) << what;
+    EXPECT_EQ(r.events, plain.events) << what;
+    EXPECT_EQ(r.windows, plain.windows) << what;
+
+    const obs::EngProfile p = prof.snapshot();
+    EXPECT_EQ(p.windows, r.windows) << what;
+    EXPECT_EQ(p.events, r.events) << what;
+    EXPECT_EQ(p.lps.size(), 5u) << what;
+    EXPECT_EQ(p.lp_names.back(), "server") << what;
+    EXPECT_GT(p.execute_s, 0.0) << what;
+    EXPECT_GE(p.execute_s, p.critical_s) << what;
+    EXPECT_LE(p.measured_speedup, p.speedup_bound * (1.0 + 1e-9)) << what;
+    // Acceptance check: per-LP exec+idle+barrier reconciles with the summed
+    // window wall time within 1% (exact up to FP rounding by construction).
+    for (const obs::EngProfLpStat& lp : p.lps) {
+      const double classes = lp.exec_s + lp.idle_s + lp.barrier_s;
+      EXPECT_NEAR(classes, p.windows_s, 0.01 * p.windows_s)
+          << what << " lp " << lp.name;
+    }
+    // The straggler shapes the profile. Which LP holds the longest drain of
+    // a given window is wall-clock (so noisy under sanitizers), but the
+    // per-LP event counts are simulation facts: node0 must out-process every
+    // other node, and its extra work must show up in critical windows.
+    for (std::size_t i = 1; i + 1 < p.lps.size(); ++i) {
+      EXPECT_GT(p.lps[0].events, p.lps[i].events) << what << " vs lp " << i;
+    }
+    EXPECT_GT(p.lps[0].critical_windows, 0u) << what;
+    // Only node<->server edges exist, so only they can bound windows.
+    for (const obs::EngProfEdgeStat& e : p.edges) {
+      EXPECT_TRUE(e.src == 4 || e.dst == 4) << what;
+      EXPECT_DOUBLE_EQ(e.lookahead, base.msg_latency) << what;
+    }
+  }
+}
+
+TEST(EngProfEngine, DegenerateWindowsAttributed) {
+  Engine eng(EngineKind::Parallel, 2);
+  obs::EngProfiler prof;
+  eng.set_profiler(&prof);
+  Lp& a = eng.add_lp("a");
+  Lp& b = eng.add_lp("b");
+  eng.set_lookahead(a.id(), b.id(), 0.0);
+  eng.set_lookahead(b.id(), a.id(), 0.0);
+
+  std::function<void(int)> hop = [&](int k) {
+    if (k >= 8) return;
+    Lp& self = (k % 2 == 0) ? a : b;
+    Lp& peer = (k % 2 == 0) ? b : a;
+    self.post(peer.id(), self.sched().now(), [&hop, k] { hop(k + 1); });
+  };
+  a.sched().schedule_call(1.0, [&] { hop(0); });
+  eng.run_until(2.0);
+
+  const obs::EngProfile p = prof.snapshot();
+  EXPECT_GT(p.degenerate_windows, 0u);
+  EXPECT_EQ(p.degenerate_windows, eng.stats().degenerate_windows);
+  double degenerate_stall = 0;
+  for (const obs::EngProfLpStat& lp : p.lps) {
+    degenerate_stall += lp.stall_degenerate_s;
+  }
+  EXPECT_GT(degenerate_stall, 0.0);
+}
+
+// --- document / timeline / report -----------------------------------------
+
+obs::EngProfile sample_profile() {
+  LpClusterConfig cfg = profiled_cluster();
+  cfg.kind = EngineKind::Parallel;
+  cfg.workers = 2;
+  obs::EngProfiler prof;
+  cfg.profiler = &prof;
+  run_lp_cluster(cfg);
+  return prof.snapshot();
+}
+
+TEST(EngProfJson, ValidatesAgainstCommittedSchema) {
+  const obs::EngProfile p = sample_profile();
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(
+      obs::engprof_json(p, {{"git", "\"test\""}}), doc, err))
+      << err;
+
+  std::ifstream f(std::string(GEMSD_SOURCE_DIR) +
+                  "/schemas/engprof.schema.json");
+  ASSERT_TRUE(f.good()) << "schemas/ not reachable";
+  std::stringstream ss;
+  ss << f.rdbuf();
+  obs::JsonValue schema;
+  ASSERT_TRUE(obs::json_parse(ss.str(), schema, err)) << err;
+  std::vector<std::string> problems;
+  EXPECT_TRUE(obs::json_schema_validate(schema, doc, problems))
+      << (problems.empty() ? "" : problems.front());
+}
+
+TEST(EngProfJson, RoundTripRecoversAggregates) {
+  const obs::EngProfile p = sample_profile();
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(obs::engprof_json(p, {}), doc, err)) << err;
+
+  obs::EngProfile q;
+  ASSERT_TRUE(obs::engprof_from_json(doc, q, err)) << err;
+  // Doubles go through decimal text, so compare to printing precision.
+  const auto near = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * (1.0 + std::abs(b));
+  };
+  EXPECT_EQ(q.workers, p.workers);
+  EXPECT_EQ(q.windows, p.windows);
+  EXPECT_EQ(q.degenerate_windows, p.degenerate_windows);
+  EXPECT_EQ(q.events, p.events);
+  EXPECT_TRUE(near(q.execute_s, p.execute_s));
+  EXPECT_TRUE(near(q.critical_s, p.critical_s));
+  EXPECT_TRUE(near(q.measured_speedup, p.measured_speedup));
+  EXPECT_TRUE(near(q.speedup_bound, p.speedup_bound));
+  ASSERT_EQ(q.lps.size(), p.lps.size());
+  for (std::size_t i = 0; i < p.lps.size(); ++i) {
+    EXPECT_EQ(q.lps[i].name, p.lps[i].name);
+    EXPECT_EQ(q.lps[i].critical_windows, p.lps[i].critical_windows);
+    EXPECT_TRUE(near(q.lps[i].exec_s, p.lps[i].exec_s));
+    EXPECT_TRUE(near(q.lps[i].stall_queue_empty_s,
+                     p.lps[i].stall_queue_empty_s));
+  }
+  ASSERT_EQ(q.edges.size(), p.edges.size());
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    EXPECT_EQ(q.edges[i].src, p.edges[i].src);
+    EXPECT_EQ(q.edges[i].windows_bound, p.edges[i].windows_bound);
+  }
+  // Rejects a non-engprof document.
+  obs::JsonValue bogus;
+  ASSERT_TRUE(obs::json_parse("{\"schema\":\"other.v1\"}", bogus, err));
+  obs::EngProfile out;
+  EXPECT_FALSE(obs::engprof_from_json(bogus, out, err));
+}
+
+TEST(EngProfJson, ChromeTimelineParsesWithWorkerAndLpTracks) {
+  const obs::EngProfile p = sample_profile();
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::json_parse(obs::engprof_chrome_json(p, {}), doc, err))
+      << err;
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_TRUE(events && events->is_array());
+  EXPECT_GT(events->arr.size(), p.ring.size());  // spans + metadata
+  // All three track families are present (pid 0 windows / 1 workers / 2 LPs).
+  bool pid[3] = {false, false, false};
+  for (const obs::JsonValue& e : events->arr) {
+    const obs::JsonValue* p_id = e.find("pid");
+    if (p_id && p_id->is_number() && p_id->num >= 0 && p_id->num <= 2) {
+      pid[static_cast<int>(p_id->num)] = true;
+    }
+  }
+  EXPECT_TRUE(pid[0] && pid[1] && pid[2]);
+}
+
+TEST(EngProfReport, DeterministicAndNamesTheStraggler) {
+  const obs::EngProfile p = sample_profile();
+  const std::string rep = format_engprof(p);
+  EXPECT_EQ(rep, format_engprof(p));  // deterministic bytes
+  EXPECT_NE(rep.find("engine parallelism profile"), std::string::npos);
+  EXPECT_NE(rep.find("node0"), std::string::npos);
+  EXPECT_NE(rep.find("server"), std::string::npos);
+  EXPECT_NE(rep.find("speedup"), std::string::npos);
+  EXPECT_NE(rep.find("lookahead"), std::string::npos);
+}
+
+// --- System integration ---------------------------------------------------
+
+SystemConfig small_system() {
+  SystemConfig cfg = make_debit_credit_config();
+  cfg.nodes = 2;
+  cfg.warmup = 0.1;
+  cfg.measure = 0.4;
+  return cfg;
+}
+
+// Profiling through ObsConfig must not move a single metric, and the
+// profile must land in the telemetry (the single-LP System runs one final
+// window per run_until segment).
+TEST(EngProfSystem, ProfileOnOffMetricsIdentical) {
+  const RunResult off = run_debit_credit(small_system());
+  SystemConfig cfg = small_system();
+  cfg.obs.engine_profile = true;
+  const RunResult on = run_debit_credit(cfg);
+
+  EXPECT_EQ(on.commits, off.commits);
+  EXPECT_EQ(on.aborts, off.aborts);
+  EXPECT_DOUBLE_EQ(on.throughput, off.throughput);
+  EXPECT_DOUBLE_EQ(on.resp_ms, off.resp_ms);
+  EXPECT_DOUBLE_EQ(on.resp_p95_ms, off.resp_p95_ms);
+  EXPECT_DOUBLE_EQ(on.cpu_util, off.cpu_util);
+
+  ASSERT_TRUE(on.telemetry);
+  ASSERT_TRUE(on.telemetry->engprof);
+  EXPECT_GE(on.telemetry->engprof->windows, 1u);
+  EXPECT_GT(on.telemetry->engprof->events, 0u);
+  ASSERT_TRUE(off.telemetry);
+  EXPECT_FALSE(off.telemetry->engprof);
+}
+
+// Satellite: the periodic sampler is bit-identical between the sequential
+// and parallel engines at 1/2/4 workers on a shipped spec.
+TEST(EngProfSystem, SamplerIdenticalAcrossEnginesOnShippedSpec) {
+  const std::string path =
+      std::string(GEMSD_SOURCE_DIR) + "/specs/fig_4_1.ini";
+  if (!std::filesystem::exists(path)) GTEST_SKIP() << "specs/ not reachable";
+  const SpecDoc doc = parse_spec_doc_file(path);
+  ASSERT_FALSE(doc.runs.empty());
+
+  auto run_sampled = [&](EngineKind kind, int workers) {
+    SystemConfig cfg = doc.runs[0].cfg;
+    cfg.warmup = 0.1;
+    cfg.measure = 0.4;
+    cfg.obs.sample_every = 0.05;
+    cfg.engine.kind = kind;
+    cfg.engine.workers = workers;
+    return run_debit_credit(cfg);
+  };
+
+  const RunResult seq = run_sampled(EngineKind::Sequential, 0);
+  ASSERT_TRUE(seq.telemetry);
+  ASSERT_FALSE(seq.telemetry->samples.empty());
+
+  for (const int workers : {1, 2, 4}) {
+    const RunResult par = run_sampled(EngineKind::Parallel, workers);
+    const std::string what = "workers " + std::to_string(workers);
+    ASSERT_TRUE(par.telemetry) << what;
+    const std::vector<obs::Sample>& a = seq.telemetry->samples;
+    const std::vector<obs::Sample>& b = par.telemetry->samples;
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].t, b[i].t) << what << " sample " << i;
+      EXPECT_DOUBLE_EQ(a[i].throughput, b[i].throughput) << what;
+      EXPECT_DOUBLE_EQ(a[i].resp_ms, b[i].resp_ms) << what;
+      EXPECT_EQ(a[i].commits, b[i].commits) << what;
+      EXPECT_EQ(a[i].aborts, b[i].aborts) << what;
+      EXPECT_DOUBLE_EQ(a[i].active_txns, b[i].active_txns) << what;
+      EXPECT_DOUBLE_EQ(a[i].cpu_busy, b[i].cpu_busy) << what;
+      EXPECT_DOUBLE_EQ(a[i].gem_busy, b[i].gem_busy) << what;
+      EXPECT_DOUBLE_EQ(a[i].sched_queue, b[i].sched_queue) << what;
+      EXPECT_EQ(a[i].in_warmup, b[i].in_warmup) << what;
+    }
+  }
+}
+
+// --- progress heartbeat ---------------------------------------------------
+
+TEST(EngProfProgress, SchedulerHookFiresEveryNEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.set_progress_hook([&] { ++fired; }, 10);
+  for (int i = 0; i < 25; ++i) {
+    s.schedule_call(0.001 * (i + 1), [] {});
+  }
+  s.run_until(1.0);
+  EXPECT_EQ(fired, 2);  // after events 10 and 20
+}
+
+// The heartbeat never perturbs results: a period that can't elapse still
+// installs the hook on the hot path, and every metric stays identical.
+TEST(EngProfProgress, HeartbeatDoesNotPerturbMetrics) {
+  const RunResult off = run_debit_credit(small_system());
+  SystemConfig cfg = small_system();
+  cfg.obs.progress_every_s = 3600.0;
+  const RunResult on = run_debit_credit(cfg);
+  EXPECT_EQ(on.commits, off.commits);
+  EXPECT_DOUBLE_EQ(on.throughput, off.throughput);
+  EXPECT_DOUBLE_EQ(on.resp_ms, off.resp_ms);
+  EXPECT_DOUBLE_EQ(on.cpu_util, off.cpu_util);
+}
+
+// --- lp_cluster trace coverage --------------------------------------------
+
+// The satellite fix: node LPs and the lock-engine LP now emit spans. The
+// merged trace is populated, covers every component, and is identical (and
+// checksum-inert) across engine kinds and worker counts.
+TEST(LpClusterTrace, SpansCoverAllLpsAndStayDeterministic) {
+  LpClusterConfig base = profiled_cluster();
+  base.trace_capacity = 1 << 14;
+
+  LpClusterConfig cfg = base;
+  cfg.kind = EngineKind::Sequential;
+  const LpClusterResult seq = run_lp_cluster(cfg);
+  ASSERT_FALSE(seq.trace.empty());
+  EXPECT_EQ(seq.trace_dropped, 0u);
+
+  // Tracing never touches simulation state.
+  LpClusterConfig untraced = profiled_cluster();
+  EXPECT_EQ(seq.checksum, run_lp_cluster(untraced).checksum);
+
+  std::uint64_t txns = 0, lock_waits = 0, gem = 0;
+  bool node_span[5] = {};
+  for (const obs::TraceEvent& e : seq.trace) {
+    ASSERT_GE(e.node, 0);
+    ASSERT_LE(e.node, 4);
+    node_span[e.node] = true;
+    if (e.name == obs::TraceName::kTxn) ++txns;
+    if (e.name == obs::TraceName::kLockWait) ++lock_waits;
+    if (e.name == obs::TraceName::kGemAccess) ++gem;
+    EXPECT_GE(e.dur, 0.0);
+  }
+  for (int n = 0; n <= 4; ++n) EXPECT_TRUE(node_span[n]) << "lp " << n;
+  EXPECT_EQ(txns, seq.commits);
+  EXPECT_EQ(lock_waits, seq.remote_requests);
+  EXPECT_EQ(gem, seq.remote_requests);  // one server span per round trip
+  // Merged order is chronological.
+  for (std::size_t i = 1; i < seq.trace.size(); ++i) {
+    EXPECT_LE(seq.trace[i - 1].t, seq.trace[i].t);
+  }
+
+  // Identical merged trace at any worker count (the per-LP recorders plus
+  // the deterministic merge are what make this safe under parallelism).
+  for (const int workers : {1, 2, 4}) {
+    cfg = base;
+    cfg.kind = EngineKind::Parallel;
+    cfg.workers = workers;
+    const LpClusterResult par = run_lp_cluster(cfg);
+    const std::string what = "workers " + std::to_string(workers);
+    EXPECT_EQ(par.checksum, seq.checksum) << what;
+    ASSERT_EQ(par.trace.size(), seq.trace.size()) << what;
+    for (std::size_t i = 0; i < seq.trace.size(); ++i) {
+      EXPECT_EQ(par.trace[i].t, seq.trace[i].t) << what;
+      EXPECT_EQ(par.trace[i].name, seq.trace[i].name) << what;
+      EXPECT_EQ(par.trace[i].node, seq.trace[i].node) << what;
+      EXPECT_EQ(par.trace[i].id, seq.trace[i].id) << what;
+      EXPECT_EQ(par.trace[i].dur, seq.trace[i].dur) << what;
+    }
+  }
+}
+
+TEST(LpClusterTrace, StragglerKnobLengthensNodeZeroOnly) {
+  LpClusterConfig cfg = profiled_cluster();
+  cfg.straggler_extra_requests = 0;
+  const LpClusterResult even = run_lp_cluster(cfg);
+  cfg.straggler_extra_requests = 10;
+  const LpClusterResult skewed = run_lp_cluster(cfg);
+  // Same commit target, strictly more work and a later makespan.
+  EXPECT_EQ(even.commits, skewed.commits);
+  EXPECT_GT(skewed.events, even.events);
+  EXPECT_GT(skewed.makespan, even.makespan);
+  EXPECT_NE(skewed.checksum, even.checksum);
+}
+
+}  // namespace

@@ -26,6 +26,14 @@
 //       batch-means CIs and the relative tolerance band exits 1 — the CI
 //       bench-regression gate.
 //
+//   gemsd_analyze --engine-profile <engprof.json> [--top=K]
+//       Engine parallelism report from a "gemsd.engprof.v1" document
+//       (written by --engine-profile on any bench or gemsd_run): top
+//       straggler LPs, limiting lookahead edges ranked by the windows they
+//       bounded, stall time by cause, and measured vs analytic max speedup.
+//       A measured speedup above its critical-LP bound exits 1 — the bound
+//       holds by construction, so exceeding it means a corrupt profile.
+//
 // Exit codes: 0 clean, 1 regression / failed cross-check, 2 bad input.
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +44,7 @@
 
 #include "obs/analyze.hpp"
 #include "obs/critpath.hpp"
+#include "obs/engprof.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -63,7 +72,8 @@ int usage() {
       "                     [--top=K] [--tolerance=T]\n"
       "       gemsd_analyze <trace.json> --critical-path[=FILE] [--top=K]\n"
       "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
-      "                     [--tolerance=T]\n");
+      "                     [--tolerance=T]\n"
+      "       gemsd_analyze --engine-profile <engprof.json> [--top=K]\n");
   return 2;
 }
 
@@ -92,6 +102,7 @@ int main(int argc, char** argv) {
   std::string compare_base, compare_cand;
   bool compare = false;
   bool critpath = false;
+  bool engprof = false;
   std::string critpath_file;
   int run_index = 0;
   int top_k = 10;
@@ -101,6 +112,8 @@ int main(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strcmp(a, "--compare") == 0) {
       compare = true;
+    } else if (std::strcmp(a, "--engine-profile") == 0) {
+      engprof = true;
     } else if (std::strcmp(a, "--critical-path") == 0) {
       critpath = true;
     } else if (std::strncmp(a, "--critical-path=", 16) == 0) {
@@ -135,6 +148,30 @@ int main(int argc, char** argv) {
   }
   if (trace_path.empty()) return usage();
   if (tolerance < 0.0) tolerance = 0.01;
+
+  if (engprof) {
+    obs::JsonValue doc;
+    if (!load_json(trace_path, doc)) return 2;
+    obs::EngProfile p;
+    std::string error;
+    if (!obs::engprof_from_json(doc, p, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    std::fputs(obs::format_engprof(p, top_k).c_str(), stdout);
+    // measured <= bound holds by construction of the profiler (every
+    // window's wall span contains its longest drain span); a violation
+    // beyond rounding means the document was not produced by it.
+    if (p.measured_speedup > p.speedup_bound * (1.0 + 1e-9)) {
+      std::fprintf(stderr,
+                   "error: measured speedup %.3f exceeds its analytic bound "
+                   "%.3f — corrupt profile\n",
+                   p.measured_speedup, p.speedup_bound);
+      return 1;
+    }
+    return 0;
+  }
 
   obs::JsonValue doc;
   if (!load_json(trace_path, doc)) return 2;

@@ -5,6 +5,8 @@
 //              [--metrics-json=FILE] [--trace=FILE] [--trace-run=I]
 //              [--trace-filter=RE] [--sample=S] [--slow-k=K] [--audit]
 //              [--engine=sequential|parallel] [--engine-workers=N]
+//              [--engine-profile[=FILE]] [--engine-profile-trace=FILE]
+//              [--progress[=SECS]]
 //
 // A spec holds either a single configuration or a whole sweep (one [run]
 // section per point — the format gemsd_bench --export-spec writes; see
@@ -70,6 +72,22 @@ int main(int argc, char** argv) {
       obs_opt.slow_k = std::atoi(argv[i] + 9);
     } else if (std::strcmp(argv[i], "--audit") == 0) {
       obs_opt.audit = true;
+    } else if (std::strcmp(argv[i], "--engine-profile") == 0) {
+      obs_opt.engine_profile = true;
+    } else if (std::strncmp(argv[i], "--engine-profile=", 17) == 0) {
+      obs_opt.engine_profile = true;
+      obs_opt.engine_profile_file = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--engine-profile-trace=", 23) == 0) {
+      obs_opt.engine_profile = true;
+      obs_opt.engine_profile_trace = argv[i] + 23;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      obs_opt.progress_every_s = 10.0;
+    } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
+      obs_opt.progress_every_s = std::atof(argv[i] + 11);
+      if (obs_opt.progress_every_s <= 0) {
+        std::fprintf(stderr, "error: --progress period must be > 0\n");
+        return 1;
+      }
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       const char* v = argv[i] + 9;
       if (std::strcmp(v, "sequential") == 0) {
@@ -93,7 +111,9 @@ int main(int argc, char** argv) {
                  "[--csv] [--full] [--jobs=N] [--metrics-json=FILE] "
                  "[--trace=FILE] [--trace-run=I] [--trace-filter=RE] "
                  "[--sample=S] [--slow-k=K] [--audit] "
-                 "[--engine=sequential|parallel] [--engine-workers=N]\n");
+                 "[--engine=sequential|parallel] [--engine-workers=N] "
+                 "[--engine-profile[=FILE]] [--engine-profile-trace=FILE] "
+                 "[--progress[=SECS]]\n");
     return 1;
   }
 
@@ -160,13 +180,18 @@ int main(int argc, char** argv) {
     obs.sample_every = obs_opt.sample_every;
     obs.slow_k = obs_opt.slow_k;
     obs.audit = obs_opt.audit;
-    if (!obs_opt.trace_file.empty() &&
-        si == static_cast<std::size_t>(
-                  obs_opt.trace_run < 0 ? 0 : obs_opt.trace_run) %
-                  jobs_list.size()) {
+    obs.progress_every_s = obs_opt.progress_every_s;
+    const std::size_t picked =
+        static_cast<std::size_t>(
+            obs_opt.trace_run < 0 ? 0 : obs_opt.trace_run) %
+        jobs_list.size();
+    if (!obs_opt.trace_file.empty() && si == picked) {
       obs.trace = true;
       obs.trace_capacity = obs_opt.trace_capacity;
       obs.trace_filter = obs_opt.trace_filter;
+    }
+    if (obs_opt.engine_profile && si == picked) {
+      obs.engine_profile = true;
     }
     SystemConfig::EngineConfig eng;
     eng.kind = obs_opt.engine;
@@ -210,7 +235,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (!obs_opt.no_json || !obs_opt.trace_file.empty()) {
+  if (!obs_opt.no_json || !obs_opt.trace_file.empty() ||
+      obs_opt.engine_profile) {
     std::vector<BenchRun> bruns(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       bruns[i].config = results[i].cfg;
@@ -224,6 +250,7 @@ int main(int argc, char** argv) {
                                        : results.front().names);
     }
     write_trace_file(obs_opt, bruns);
+    write_engprof_files("run", obs_opt, bruns);
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
