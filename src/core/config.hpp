@@ -112,7 +112,13 @@ struct SystemConfig {
   PathLengthConfig path;
   std::vector<PartitionConfig> partitions;
 
-  sim::SimTime warmup = 5.0;    ///< statistics discarded before this time
+  /// Statistics discarded before this time. The default (5 s simulated) is
+  /// the single source of truth for every front end: BenchOptions starts
+  /// from it, and --quick lowers it to 2 s (with measure = 6 s) as an
+  /// explicit override — later flags win, so `--quick --warmup=5` restores
+  /// the default and `--warmup=5 --quick` does not. gemsd_analyze
+  /// --timeseries checks this cut against an MSER estimate after the fact.
+  sim::SimTime warmup = 5.0;
   sim::SimTime measure = 30.0;  ///< measured interval after warm-up
   std::uint64_t seed = 42;
 
@@ -156,8 +162,16 @@ struct SystemConfig {
     /// Timeline ring capacity in windows (aggregates always cover the run).
     std::size_t engprof_windows = std::size_t{1} << 14;
     /// Heartbeat period in wall seconds (0 = off): one stderr JSONL line
-    /// with sim-time, commits, events/s and window count.
+    /// with sim-time, commits, events/s and window count, plus rates over
+    /// the last heartbeat interval.
     double progress_every_s = 0.0;
+    /// Streaming per-window time series (obs/timeseries.hpp). Pure
+    /// observation: no scheduler events are inserted, so metrics are
+    /// byte-identical on/off and the export is bit-identical across engine
+    /// kinds and worker counts.
+    bool timeseries = false;
+    double timeseries_window = 0.5;   ///< window width in simulated seconds
+    std::size_t timeseries_cap = 512; ///< max windows before coarsening
   } obs;
 
   /// Failure/recovery model (Section 1-2 motivate availability; GEM's

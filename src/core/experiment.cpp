@@ -11,6 +11,7 @@
 #include "obs/fingerprint.hpp"
 #include "obs/json.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace gemsd {
@@ -169,6 +170,14 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
       o.progress_every_s = 10.0;
     } else if (value_of(a, "--progress", v)) {
       num_ok = to_double(v, o.progress_every_s) && o.progress_every_s > 0;
+    } else if (a == "--timeseries") {
+      o.timeseries = true;
+    } else if (value_of(a, "--timeseries", v)) {
+      o.timeseries = true;
+      o.timeseries_file = v;
+    } else if (value_of(a, "--timeseries-window", v)) {
+      o.timeseries = true;
+      num_ok = to_double(v, o.timeseries_window) && o.timeseries_window > 0;
     } else if (value_of(a, "--engine", v)) {
       if (v == "sequential") {
         o.engine = sim::EngineKind::Sequential;
@@ -194,9 +203,13 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
 
 std::string bench_usage() {
   return
-      "  --quick            shorter measurement interval (CI-friendly)\n"
-      "  --measure=S        measurement seconds\n"
-      "  --warmup=S         warm-up seconds\n"
+      "  --quick            shorter measurement interval (CI-friendly):\n"
+      "                     warmup 2 s, measure 6 s. Later flags win, so\n"
+      "                     '--quick --warmup=5' restores the default cut\n"
+      "  --measure=S        measurement seconds (default 20)\n"
+      "  --warmup=S         warm-up seconds (default 5, the\n"
+      "                     SystemConfig::warmup default; check it after the\n"
+      "                     fact with gemsd_analyze --timeseries)\n"
       "  --max-nodes=N      cap the node sweep\n"
       "  --jobs=N           worker threads (0 = hardware_concurrency)\n"
       "  --seed=S           simulation seed\n"
@@ -219,7 +232,12 @@ std::string bench_usage() {
       "                     default results/ENGPROF_<bench>.json)\n"
       "  --engine-profile-trace=F  Perfetto wall-clock timeline of the\n"
       "                     profiled windows\n"
-      "  --progress[=SECS]  stderr JSONL heartbeat (default 10s period)\n";
+      "  --progress[=SECS]  stderr JSONL heartbeat (default 10s period)\n"
+      "  --timeseries[=F]   per-window time series of the --trace-run point\n"
+      "                     (gemsd.timeseries.v1 JSON; default\n"
+      "                     results/TIMESERIES_<bench>.json)\n"
+      "  --timeseries-window=S  window width [sim s] (default 0.5; doubles\n"
+      "                     when the window cap is hit)\n";
 }
 
 BenchOptions parse_bench_args(int argc, char** argv) {
@@ -260,6 +278,11 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
     // invocation can line the simulated trace up with the wall timeline.
     if (opt.engine_profile && i == picked) {
       obs.engine_profile = true;
+    }
+    // The time series records the same point too.
+    if (opt.timeseries && i == picked) {
+      obs.timeseries = true;
+      obs.timeseries_window = opt.timeseries_window;
     }
   }
 }
@@ -551,6 +574,40 @@ std::pair<std::string, std::string> write_engprof_files(
   return out;
 }
 
+std::string write_timeseries_file(const std::string& bench,
+                                  const BenchOptions& opt,
+                                  const std::vector<BenchRun>& runs) {
+  if (!opt.timeseries || runs.empty()) return "";
+  const std::size_t idx =
+      static_cast<std::size_t>(opt.trace_run < 0 ? 0 : opt.trace_run) %
+      runs.size();
+  const BenchRun& run = runs[idx];
+  const auto* tel = run.result.telemetry.get();
+  if (!tel || !tel->timeseries) {
+    std::fprintf(stderr,
+                 "warning: --timeseries given but run %zu has no "
+                 "time series\n",
+                 idx);
+    return "";
+  }
+  obs::JsonWriter git, seed, hash;
+  git.value(obs::build_git_describe());
+  seed.value(static_cast<std::uint64_t>(run.config.seed));
+  hash.value(obs::config_hash_hex(run.config));
+  const std::vector<std::pair<std::string, std::string>> metadata = {
+      {"git", git.take()},
+      {"seed", seed.take()},
+      {"config_hash", hash.take()},
+  };
+  const std::string path = opt.timeseries_file.empty()
+                               ? "results/TIMESERIES_" + bench + ".json"
+                               : opt.timeseries_file;
+  return write_text_file(path,
+                         obs::timeseries_json(*tel->timeseries, metadata))
+             ? path
+             : "";
+}
+
 std::string fingerprint_line(const std::string& bench,
                              const SystemConfig& cfg) {
   std::string s = bench;
@@ -571,6 +628,7 @@ void finish_bench(const std::string& bench, const std::string& caption,
       write_bench_json(bench, caption, opt, bruns, partition_names);
   const std::string trace_path = write_trace_file(opt, bruns);
   const auto engprof_paths = write_engprof_files(bench, opt, bruns);
+  const std::string ts_path = write_timeseries_file(bench, opt, bruns);
   const SystemConfig stamp_cfg = cfgs.empty() ? SystemConfig{} : cfgs.front();
   if (opt.csv) {
     std::printf("# %s\n", fingerprint_line(bench, stamp_cfg).c_str());
@@ -585,6 +643,9 @@ void finish_bench(const std::string& bench, const std::string& caption,
     }
     if (!engprof_paths.second.empty()) {
       std::printf("engine timeline: %s\n", engprof_paths.second.c_str());
+    }
+    if (!ts_path.empty()) {
+      std::printf("timeseries: %s\n", ts_path.c_str());
     }
   }
 }

@@ -48,7 +48,15 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///   --engine-profile-trace=F   Perfetto/Chrome wall-clock timeline of the
 ///                      profiled windows
 ///   --progress[=SECS]  stderr JSONL heartbeat every SECS wall seconds
+///   --timeseries[=F]   per-window time series of the --trace-run sweep
+///                      point (gemsd.timeseries.v1 JSON; analyze with
+///                      gemsd_analyze --timeseries)
+///   --timeseries-window=S  window width [sim s] (default 0.5; width doubles
+///                      when the 512-window cap is hit)
 struct BenchOptions {
+  /// Warm-up default: 5 s simulated, the SystemConfig::warmup default.
+  /// --quick overrides to 2 s (measure 6 s); later flags win, so
+  /// `--quick --warmup=5` restores the default.
   double warmup = 5.0;
   double measure = 20.0;
   int max_nodes = 10;
@@ -72,6 +80,11 @@ struct BenchOptions {
   std::string engine_profile_file;   ///< "" = results/ENGPROF_<bench>.json
   std::string engine_profile_trace;  ///< timeline file ("" = not written)
   double progress_every_s = 0.0;     ///< heartbeat period [wall s] (0 = off)
+  /// Per-window time series (obs/timeseries.hpp) of the --trace-run sweep
+  /// point. Pure observation — metrics are byte-identical on/off.
+  bool timeseries = false;
+  std::string timeseries_file;       ///< "" = results/TIMESERIES_<bench>.json
+  double timeseries_window = 0.5;    ///< window width [sim s]
   /// Event-kernel backend (sim/engine.hpp). Pure execution policy: results
   /// are identical for both kinds and any worker count.
   sim::EngineKind engine = sim::EngineKind::Sequential;
@@ -141,6 +154,13 @@ std::string write_trace_file(const BenchOptions& opt,
 std::pair<std::string, std::string> write_engprof_files(
     const std::string& bench, const BenchOptions& opt,
     const std::vector<BenchRun>& runs);
+
+/// Write the time series of the recorded sweep point when --timeseries was
+/// given: the gemsd.timeseries.v1 document. Returns the path written, or ""
+/// when off or nothing was recorded.
+std::string write_timeseries_file(const std::string& bench,
+                                  const BenchOptions& opt,
+                                  const std::vector<BenchRun>& runs);
 
 /// One-line config fingerprint for human-readable report headers:
 /// "bench git=<describe> seed=<seed> config=<hash>".

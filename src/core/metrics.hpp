@@ -13,6 +13,7 @@ namespace gemsd {
 
 namespace obs {
 class Auditor;
+class TimeSeriesRecorder;
 }  // namespace obs
 
 /// Run-wide statistics, updated by every component; reset at warm-up end.
@@ -77,6 +78,9 @@ class Metrics {
   /// Online invariant auditor owned by System (--audit; null = off). Checks
   /// are pure observation — metrics stay bit-identical either way.
   obs::Auditor* audit = nullptr;
+  /// Per-window time-series recorder owned by System (--timeseries; null =
+  /// off). Fed exact commit/abort events by the transaction manager.
+  obs::TimeSeriesRecorder* ts = nullptr;
 
   double hit_ratio(std::size_t partition) const {
     const double h = static_cast<double>(hits[partition].value());

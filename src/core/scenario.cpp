@@ -282,6 +282,7 @@ void emit_scenario(const Scenario& sc, const BenchOptions& opt,
                        plan.partition_names);
   const std::string trace_path = write_trace_file(jopt, res.runs);
   const auto engprof_paths = write_engprof_files(sc.name, jopt, res.runs);
+  const std::string ts_path = write_timeseries_file(sc.name, jopt, res.runs);
 
   if (!opt.csv && plan.trace) {
     const auto stats = workload::compute_stats(*plan.trace);
@@ -328,6 +329,9 @@ void emit_scenario(const Scenario& sc, const BenchOptions& opt,
   }
   if (!engprof_paths.second.empty()) {
     std::printf("engine timeline: %s\n", engprof_paths.second.c_str());
+  }
+  if (!ts_path.empty()) {
+    std::printf("timeseries: %s\n", ts_path.c_str());
   }
   if (sc.post) sc.post(res, opt);
   if (!sc.note.empty()) std::printf("\n%s\n", sc.note.c_str());

@@ -9,6 +9,7 @@
 #include "cc/lock_engine_protocol.hpp"
 #include "cc/primary_copy_protocol.hpp"
 #include "obs/engprof.hpp"
+#include "obs/timeseries.hpp"
 #include "workload/debit_credit.hpp"
 
 namespace gemsd {
@@ -61,6 +62,56 @@ System::System(const SystemConfig& cfg, Workload wl)
   if (cfg_.obs.engine_profile) {
     engprof_ = std::make_unique<obs::EngProfiler>(cfg_.obs.engprof_windows);
     engine_.set_profiler(engprof_.get());
+  }
+  if (cfg_.obs.timeseries) {
+    ts_ = std::make_unique<obs::TimeSeriesRecorder>(
+        cfg_.obs.timeseries_window, cfg_.obs.timeseries_cap, cfg_.nodes);
+    metrics_.ts = ts_.get();
+    // Cumulative-counter reader: invoked from inside TM hook processing when
+    // a window rolls over. Reads counters and busy-time integrals only —
+    // never mutates simulation state or draws random numbers.
+    ts_->set_poller([this](obs::TsCumulative& c) {
+      c.events = sched_.events_processed();
+      c.lock_waits = metrics_.lock_waits.value();
+      c.deadlocks = metrics_.deadlocks.value();
+      std::uint64_t h = 0, m = 0;
+      for (std::size_t p = 0; p < metrics_.hits.size(); ++p) {
+        h += metrics_.hits[p].value();
+        m += metrics_.misses[p].value();
+      }
+      c.hits = h;
+      c.misses = m;
+      c.msgs = comm_->messages_sent();
+      double cpu = 0;
+      for (const auto& cp : cpus_) cpu += cp->resource().busy_time();
+      c.cpu_busy_s = cpu;
+      c.gem_busy_s = gem_->server().busy_time();
+      c.net_busy_s = network_->link().busy_time();
+      double disk = 0;
+      for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+        if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+          disk += g->arms().busy_time();
+        }
+      }
+      for (int n = 0; n < cfg_.nodes; ++n) {
+        disk += storage_->log_group(n).arms().busy_time();
+      }
+      c.disk_busy_s = disk;
+    });
+    double disk_arms = 0;
+    for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+      if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+        disk_arms += static_cast<double>(g->arms().capacity());
+      }
+    }
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      disk_arms +=
+          static_cast<double>(storage_->log_group(n).arms().capacity());
+    }
+    ts_->set_capacities(
+        static_cast<double>(cfg_.nodes) * cfg_.cpu.processors,
+        static_cast<double>(gem_->server().capacity()),
+        static_cast<double>(network_->link().capacity()), disk_arms);
   }
   if (cfg_.obs.progress_every_s > 0.0) {
     // Check the wall clock every few thousand events (one predictable branch
@@ -286,19 +337,33 @@ void System::progress_tick() {
                            .count();
   if (now_s - progress_last_s_ < cfg_.obs.progress_every_s) return;
   const std::uint64_t events = sched_.events_processed();
-  // Rate over the heartbeat interval (first interval spans construction).
-  const double eps = static_cast<double>(events - progress_prev_events_) /
-                     (now_s - progress_last_s_);
+  const std::uint64_t commits = metrics_.commits.value();
+  const sim::SimTime sim_now = sched_.now();
+  // Rates over the heartbeat interval (first interval spans construction).
+  // The commit counter is zeroed at warm-up end, so a shrinking value means
+  // the interval restarted at the reset.
+  const double dt = now_s - progress_last_s_;
+  const double eps = static_cast<double>(events - progress_prev_events_) / dt;
+  const std::uint64_t int_commits =
+      commits >= progress_prev_commits_ ? commits - progress_prev_commits_
+                                        : commits;
+  const double cps = static_cast<double>(int_commits) / dt;
+  const double sim_per_s = (sim_now - progress_prev_sim_) / dt;
   // One JSONL line on stderr: greppable, and invisible to every stdout
-  // consumer (CSV, tables, JSON exports).
+  // consumer (CSV, tables, JSON exports). events_per_s / commits_per_s /
+  // sim_per_s cover the last interval; commits and events are cumulative.
   std::fprintf(stderr,
                "{\"progress\":{\"sim_s\":%.3f,\"commits\":%" PRIu64
-               ",\"events\":%" PRIu64 ",\"events_per_s\":%.0f,\"windows\":%"
-               PRIu64 ",\"nodes\":%d}}\n",
-               sched_.now(), metrics_.commits.value(), events, eps,
+               ",\"events\":%" PRIu64 ",\"events_per_s\":%.0f"
+               ",\"interval_commits\":%" PRIu64 ",\"commits_per_s\":%.1f"
+               ",\"sim_per_s\":%.3f,\"windows\":%" PRIu64
+               ",\"nodes\":%d}}\n",
+               sim_now, commits, events, eps, int_commits, cps, sim_per_s,
                engine_.windows_executed(), cfg_.nodes);
   progress_last_s_ = now_s;
   progress_prev_events_ = events;
+  progress_prev_commits_ = commits;
+  progress_prev_sim_ = sim_now;
 }
 
 void System::start_source() {
@@ -309,6 +374,10 @@ void System::start_source() {
 }
 
 void System::reset_stats() {
+  // Distribute the cumulative deltas accrued up to this instant BEFORE the
+  // counters are zeroed; the recorder itself is kept — the series spans the
+  // whole run so warm-up convergence stays visible to the analyzer.
+  if (ts_) ts_->fold(sched_.now());
   metrics_.reset();
   gem_->reset_stats();
   network_->reset_stats();
@@ -322,6 +391,10 @@ void System::reset_stats() {
   // series is kept (convergence toward steady state is what it shows).
   if (trace_) trace_->clear();
   slow_log_.clear();
+  if (ts_) {
+    ts_->rebase(sched_.now());  // counters were just zeroed
+    ts_->mark_stats_start(sched_.now());
+  }
 }
 
 void System::run_until(sim::SimTime t) {
@@ -562,6 +635,11 @@ RunResult System::collect() const {
   if (engprof_) {
     tel->engprof =
         std::make_shared<const obs::EngProfile>(engprof_->snapshot());
+  }
+  if (ts_) {
+    ts_->fold(sched_.now());  // close the tail segment at the horizon
+    tel->timeseries =
+        std::make_shared<const obs::TsSeries>(ts_->snapshot(sched_.now()));
   }
   r.telemetry = std::move(tel);
   return r;

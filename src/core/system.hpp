@@ -26,6 +26,7 @@
 
 namespace gemsd::obs {
 class EngProfiler;
+class TimeSeriesRecorder;
 }
 
 namespace gemsd {
@@ -76,6 +77,7 @@ class System {
   const obs::SlowTxnLog& slow_log() const { return slow_log_; }
   obs::Auditor* auditor() { return audit_.get(); }
   obs::EngProfiler* engine_profiler() { return engprof_.get(); }
+  obs::TimeSeriesRecorder* timeseries() { return ts_.get(); }
 
   /// Inject one transaction directly (tests).
   void submit(NodeId node, workload::TxnSpec spec) {
@@ -130,6 +132,7 @@ class System {
   std::unique_ptr<obs::TraceRecorder> trace_;
   std::unique_ptr<obs::Auditor> audit_;
   std::unique_ptr<obs::EngProfiler> engprof_;
+  std::unique_ptr<obs::TimeSeriesRecorder> ts_;
   obs::SlowTxnLog slow_log_;
   std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;
@@ -139,6 +142,8 @@ class System {
       std::chrono::steady_clock::now();
   double progress_last_s_ = 0;     ///< wall time of the last heartbeat
   std::uint64_t progress_prev_events_ = 0;
+  std::uint64_t progress_prev_commits_ = 0;
+  sim::SimTime progress_prev_sim_ = 0;
   bool source_started_ = false;
   bool stats_reset_ = false;  ///< samples before the first reset are warm-up
   std::uint64_t recovery_ids_ = 0;

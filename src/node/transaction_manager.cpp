@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "obs/audit.hpp"
+#include "obs/timeseries.hpp"
 
 namespace gemsd::node {
 
@@ -198,6 +199,7 @@ sim::Task<void> TransactionManager::run(Txn txn) {
     }
     metrics_.aborts.inc();
     metrics_.restarts.inc();
+    if (metrics_.ts) metrics_.ts->on_abort(sched_.now(), node_);
     ++txn.restarts;
     txn.t_cpu = txn.t_cpu_wait = txn.t_io = txn.t_cc = 0;
     if (metrics_.trace) {
@@ -212,6 +214,7 @@ sim::Task<void> TransactionManager::run(Txn txn) {
   const double rt = sched_.now() - txn.arrival;
   metrics_.commits.inc();
   metrics_.response.add(rt);
+  if (metrics_.ts) metrics_.ts->on_commit(sched_.now(), node_, rt);
   metrics_.response_batches.add(rt);
   metrics_.response_hist.add(rt);
   if (!txn.spec.refs.empty()) {

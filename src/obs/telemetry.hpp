@@ -13,6 +13,7 @@
 namespace gemsd::obs {
 
 struct EngProfile;
+struct TsSeries;
 
 /// One periodic-sampler observation (taken every ObsConfig::sample_every
 /// simulated seconds, from t=0 — warm-up included, so convergence is
@@ -113,6 +114,10 @@ struct RunTelemetry {
   /// Engine parallelism profile (--engine-profile; null when off). Wall-clock
   /// measurements of the engine itself — the only nondeterministic telemetry.
   std::shared_ptr<const EngProfile> engprof;
+
+  /// Per-window time series (--timeseries; null when off). Simulation-time
+  /// deterministic: bit-identical across engine kinds and worker counts.
+  std::shared_ptr<const TsSeries> timeseries;
 };
 
 /// Serialize a run's trace as Chrome trace-event JSON (loadable in Perfetto

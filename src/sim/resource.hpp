@@ -59,6 +59,10 @@ class Resource {
   double utilization() const {
     return busy_tw_.mean(sched_.now()) / static_cast<double>(cap_);
   }
+  /// Busy server-seconds since the last reset (the utilization numerator
+  /// before dividing by horizon and capacity; the time-series recorder
+  /// differences this per window).
+  double busy_time() const { return busy_tw_.integral(sched_.now()); }
   double mean_queue_length() const { return qlen_tw_.mean(sched_.now()); }
   const MeanStat& wait_stat() const { return wait_; }
   std::uint64_t completions() const { return completions_; }

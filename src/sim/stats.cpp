@@ -2,23 +2,33 @@
 
 namespace gemsd::sim {
 
+double log_buckets_quantile(const LogBuckets& lb,
+                            const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    const double b = static_cast<double>(buckets[static_cast<std::size_t>(i)]);
+    if (cum + b >= target && b > 0) {
+      const double frac = (target - cum) / b;
+      if (i == 0) return lb.lo() * frac;  // underflow bucket: interpolate to lo
+      const double lower = lb.lower(i);
+      const double upper = lb.lower(i + 1);
+      return lower + frac * (upper - lower);
+    }
+    cum += b;
+  }
+  return lb.lower(static_cast<int>(buckets.size()));
+}
+
 Histogram::Histogram(double lo, double hi, int bins)
-    : lo_(lo),
-      log_lo_(std::log(lo)),
-      log_ratio_((std::log(hi) - std::log(lo)) / bins),
+    : layout_(lo, hi, bins),
       buckets_(static_cast<std::size_t>(bins) + 2, 0) {}
 
 void Histogram::add(double x) {
   ++total_;
-  int idx;
-  if (x < lo_) {
-    idx = 0;
-  } else {
-    const int b =
-        static_cast<int>((std::log(x) - log_lo_) / log_ratio_);
-    idx = std::min(b + 1, static_cast<int>(buckets_.size()) - 1);
-  }
-  ++buckets_[static_cast<std::size_t>(idx)];
+  ++buckets_[static_cast<std::size_t>(layout_.index(x))];
 }
 
 void Histogram::reset() {
@@ -26,27 +36,8 @@ void Histogram::reset() {
   total_ = 0;
 }
 
-double Histogram::bucket_lower(int i) const {
-  // i is the index into buckets_ (1-based for the regular range).
-  return std::exp(log_lo_ + (i - 1) * log_ratio_);
-}
-
 double Histogram::quantile(double q) const {
-  if (total_ == 0) return 0.0;
-  const double target = q * static_cast<double>(total_);
-  double cum = 0.0;
-  for (int i = 0; i < static_cast<int>(buckets_.size()); ++i) {
-    const double b = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
-    if (cum + b >= target && b > 0) {
-      const double frac = (target - cum) / b;
-      if (i == 0) return lo_ * frac;  // underflow bucket: interpolate to lo
-      const double lower = bucket_lower(i);
-      const double upper = bucket_lower(i + 1);
-      return lower + frac * (upper - lower);
-    }
-    cum += b;
-  }
-  return bucket_lower(static_cast<int>(buckets_.size()));
+  return log_buckets_quantile(layout_, buckets_, total_, q);
 }
 
 }  // namespace gemsd::sim

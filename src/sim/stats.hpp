@@ -76,6 +76,10 @@ class TimeWeighted {
     if (horizon <= 0.0) return value_;
     return (integral_ + value_ * (now - last_t_)) / horizon;
   }
+  /// Integral of the value over [reset, now] (e.g. busy server-seconds).
+  double integral(SimTime now) const {
+    return integral_ + value_ * (now - last_t_);
+  }
 
  private:
   double value_ = 0.0;
@@ -134,6 +138,50 @@ class BatchMeans {
   MeanStat means_;
 };
 
+/// Geometric bucket layout shared by Histogram and the mergeable per-window
+/// sketches of the time-series recorder (obs/timeseries.hpp): `bins` buckets
+/// covering [lo, hi), storage index 0 = underflow and the last index =
+/// overflow, so counts vectors of size `size()` with identical parameters
+/// merge by elementwise addition.
+class LogBuckets {
+ public:
+  LogBuckets(double lo = 1e-6, double hi = 100.0, int bins = 160)
+      : lo_(lo),
+        hi_(hi),
+        bins_(bins),
+        log_lo_(std::log(lo)),
+        log_ratio_((std::log(hi) - std::log(lo)) / bins) {}
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  int bins() const { return bins_; }
+  /// Storage size: bins + underflow + overflow.
+  int size() const { return bins_ + 2; }
+
+  /// Storage index for an observation.
+  int index(double x) const {
+    if (x < lo_) return 0;
+    const int b = static_cast<int>((std::log(x) - log_lo_) / log_ratio_);
+    return std::min(b + 1, size() - 1);
+  }
+  /// Lower bound of storage index i (1-based for the regular range).
+  double lower(int i) const {
+    return std::exp(log_lo_ + (i - 1) * log_ratio_);
+  }
+
+ private:
+  double lo_, hi_;
+  int bins_;
+  double log_lo_, log_ratio_;
+};
+
+/// Approximate q-quantile (0 < q < 1) of a counts vector laid out by `lb`
+/// (size lb.size(), index 0 = underflow), by linear interpolation within the
+/// containing bucket. Returns 0 when total == 0.
+double log_buckets_quantile(const LogBuckets& lb,
+                            const std::vector<std::uint64_t>& buckets,
+                            std::uint64_t total, double q);
+
 /// Log-spaced histogram for positive durations; supports approximate
 /// quantiles. Bin i covers [lo * ratio^i, lo * ratio^(i+1)).
 class Histogram {
@@ -149,11 +197,9 @@ class Histogram {
   double quantile(double q) const;
 
  private:
-  double lo_, log_lo_, log_ratio_;
+  LogBuckets layout_;
   std::vector<std::uint64_t> buckets_;  // [0]=underflow, [last]=overflow
   std::uint64_t total_ = 0;
-
-  double bucket_lower(int i) const;
 };
 
 }  // namespace gemsd::sim

@@ -26,6 +26,15 @@
 //       batch-means CIs and the relative tolerance band exits 1 — the CI
 //       bench-regression gate.
 //
+//   gemsd_analyze --timeseries <timeseries.json> [--csv=FILE]
+//       Steady-state report from a "gemsd.timeseries.v1" document (written
+//       by --timeseries on any bench or gemsd_run): MSER-5 warm-up estimate
+//       checked against the configured --warmup cut (a too-short cut warns),
+//       and a batch-means trend test over the measurement interval for
+//       throughput and mean response. A drifting run exits 1 — the CI
+//       steady-state gate. --csv=FILE also writes one row per window for
+//       plotting.
+//
 //   gemsd_analyze --engine-profile <engprof.json> [--top=K]
 //       Engine parallelism report from a "gemsd.engprof.v1" document
 //       (written by --engine-profile on any bench or gemsd_run): top
@@ -46,6 +55,7 @@
 #include "obs/critpath.hpp"
 #include "obs/engprof.hpp"
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -73,7 +83,8 @@ int usage() {
       "       gemsd_analyze <trace.json> --critical-path[=FILE] [--top=K]\n"
       "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
       "                     [--tolerance=T]\n"
-      "       gemsd_analyze --engine-profile <engprof.json> [--top=K]\n");
+      "       gemsd_analyze --engine-profile <engprof.json> [--top=K]\n"
+      "       gemsd_analyze --timeseries <timeseries.json> [--csv=FILE]\n");
   return 2;
 }
 
@@ -103,7 +114,9 @@ int main(int argc, char** argv) {
   bool compare = false;
   bool critpath = false;
   bool engprof = false;
+  bool timeseries = false;
   std::string critpath_file;
+  std::string csv_file;
   int run_index = 0;
   int top_k = 10;
   double tolerance = -1.0;  // mode-specific default
@@ -114,6 +127,10 @@ int main(int argc, char** argv) {
       compare = true;
     } else if (std::strcmp(a, "--engine-profile") == 0) {
       engprof = true;
+    } else if (std::strcmp(a, "--timeseries") == 0) {
+      timeseries = true;
+    } else if (std::strncmp(a, "--csv=", 6) == 0) {
+      csv_file = a + 6;
     } else if (std::strcmp(a, "--critical-path") == 0) {
       critpath = true;
     } else if (std::strncmp(a, "--critical-path=", 16) == 0) {
@@ -148,6 +165,39 @@ int main(int argc, char** argv) {
   }
   if (trace_path.empty()) return usage();
   if (tolerance < 0.0) tolerance = 0.01;
+
+  if (timeseries) {
+    obs::JsonValue doc;
+    if (!load_json(trace_path, doc)) return 2;
+    obs::TsSeries s;
+    std::string error;
+    if (!obs::timeseries_from_json(doc, s, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const obs::TsReport rep = obs::analyze_timeseries(s);
+    std::fputs(obs::format_ts_report(s, rep).c_str(), stdout);
+    if (!csv_file.empty()) {
+      std::ofstream out(csv_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_file.c_str());
+        return 2;
+      }
+      out << obs::timeseries_csv(s);
+      std::printf("wrote %s\n", csv_file.c_str());
+    }
+    // A too-short warm-up cut is a warning (the headline numbers are
+    // biased, not wrong); a drifting measurement interval fails the run —
+    // steady-state metrics from a non-stationary run are meaningless.
+    if (!rep.warmup_safe) {
+      std::fprintf(stderr,
+                   "warning: configured warm-up %.4g s is shorter than the "
+                   "MSER-5 recommendation %.4g s\n",
+                   rep.configured_warmup_s, rep.mser_warmup_s);
+    }
+    return rep.drifting ? 1 : 0;
+  }
 
   if (engprof) {
     obs::JsonValue doc;

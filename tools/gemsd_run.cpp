@@ -6,7 +6,8 @@
 //              [--trace-filter=RE] [--sample=S] [--slow-k=K] [--audit]
 //              [--engine=sequential|parallel] [--engine-workers=N]
 //              [--engine-profile[=FILE]] [--engine-profile-trace=FILE]
-//              [--progress[=SECS]]
+//              [--progress[=SECS]] [--timeseries[=FILE]]
+//              [--timeseries-window=S]
 //
 // A spec holds either a single configuration or a whole sweep (one [run]
 // section per point — the format gemsd_bench --export-spec writes; see
@@ -80,6 +81,18 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--engine-profile-trace=", 23) == 0) {
       obs_opt.engine_profile = true;
       obs_opt.engine_profile_trace = argv[i] + 23;
+    } else if (std::strcmp(argv[i], "--timeseries") == 0) {
+      obs_opt.timeseries = true;
+    } else if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+      obs_opt.timeseries = true;
+      obs_opt.timeseries_file = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--timeseries-window=", 20) == 0) {
+      obs_opt.timeseries = true;
+      obs_opt.timeseries_window = std::atof(argv[i] + 20);
+      if (obs_opt.timeseries_window <= 0) {
+        std::fprintf(stderr, "error: --timeseries-window must be > 0\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       obs_opt.progress_every_s = 10.0;
     } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
@@ -113,7 +126,8 @@ int main(int argc, char** argv) {
                  "[--sample=S] [--slow-k=K] [--audit] "
                  "[--engine=sequential|parallel] [--engine-workers=N] "
                  "[--engine-profile[=FILE]] [--engine-profile-trace=FILE] "
-                 "[--progress[=SECS]]\n");
+                 "[--progress[=SECS]] [--timeseries[=FILE]] "
+                 "[--timeseries-window=S]\n");
     return 1;
   }
 
@@ -193,6 +207,10 @@ int main(int argc, char** argv) {
     if (obs_opt.engine_profile && si == picked) {
       obs.engine_profile = true;
     }
+    if (obs_opt.timeseries && si == picked) {
+      obs.timeseries = true;
+      obs.timeseries_window = obs_opt.timeseries_window;
+    }
     SystemConfig::EngineConfig eng;
     eng.kind = obs_opt.engine;
     eng.workers = obs_opt.engine_workers;
@@ -236,7 +254,7 @@ int main(int argc, char** argv) {
   }
 
   if (!obs_opt.no_json || !obs_opt.trace_file.empty() ||
-      obs_opt.engine_profile) {
+      obs_opt.engine_profile || obs_opt.timeseries) {
     std::vector<BenchRun> bruns(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       bruns[i].config = results[i].cfg;
@@ -251,6 +269,7 @@ int main(int argc, char** argv) {
     }
     write_trace_file(obs_opt, bruns);
     write_engprof_files("run", obs_opt, bruns);
+    write_timeseries_file("run", obs_opt, bruns);
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {

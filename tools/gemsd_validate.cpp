@@ -2,6 +2,14 @@
 // file (see src/obs/json.hpp for the supported keywords):
 //
 //   ./gemsd_validate <schema.json> <doc.json|dir> [more ...]
+//   ./gemsd_validate --schemas=<dir> <doc.json|dir> [more ...]
+//
+// The first form validates every document against one schema. The second
+// builds a registry from <dir>/*.schema.json, reads each document's schema
+// tag ("schema" at the top level, or "otherData.schema" for Chrome traces)
+// and validates it against the matching schema; a document whose tag
+// matches no known schema is a failure — a results directory must not
+// accumulate files nothing can check.
 //
 // Directory arguments expand to their *.json files (sorted, non-recursive).
 // Every document is checked — a failure does not stop the run — and a
@@ -11,8 +19,10 @@
 // schemas/trace.schema.json.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +61,46 @@ std::vector<std::string> expand(const std::string& arg) {
   return files;
 }
 
+/// Schema tag declared by a schema file: properties.schema.enum[0], or —
+/// Chrome traces nest theirs — properties.otherData.properties.schema.enum[0].
+std::string schema_tag_of_schema(const gemsd::obs::JsonValue& schema) {
+  using gemsd::obs::JsonValue;
+  const auto enum_head = [](const JsonValue* prop) -> std::string {
+    if (!prop) return "";
+    const JsonValue* e = prop->find("enum");
+    if (e && e->is_array() && !e->arr.empty() && e->arr[0].is_string()) {
+      return e->arr[0].str;
+    }
+    return "";
+  };
+  if (const JsonValue* props = schema.find("properties")) {
+    if (std::string tag = enum_head(props->find("schema")); !tag.empty()) {
+      return tag;
+    }
+    if (const JsonValue* od = props->find("otherData")) {
+      if (const JsonValue* odp = od->find("properties")) {
+        return enum_head(odp->find("schema"));
+      }
+    }
+  }
+  return "";
+}
+
+/// Schema tag carried by a document: "schema" at the top level, or
+/// "otherData.schema".
+std::string schema_tag_of_doc(const gemsd::obs::JsonValue& doc) {
+  using gemsd::obs::JsonValue;
+  if (const JsonValue* s = doc.find("schema"); s && s->is_string()) {
+    return s->str;
+  }
+  if (const JsonValue* od = doc.find("otherData")) {
+    if (const JsonValue* s = od->find("schema"); s && s->is_string()) {
+      return s->str;
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,16 +108,57 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: gemsd_validate <schema.json> <doc.json|dir> "
+                 "[more ...]\n"
+                 "       gemsd_validate --schemas=<dir> <doc.json|dir> "
                  "[more ...]\n");
     return 1;
   }
 
   std::string text, error;
-  obs::JsonValue schema;
-  if (!read_file(argv[1], text)) return 1;
-  if (!obs::json_parse(text, schema, error)) {
-    std::fprintf(stderr, "error: %s: %s\n", argv[1], error.c_str());
-    return 1;
+  // tag -> {schema, source path}; auto mode fills several, the single-schema
+  // form exactly one under the "" catch-all tag.
+  std::map<std::string, std::pair<obs::JsonValue, std::string>> registry;
+  const bool auto_mode = std::strncmp(argv[1], "--schemas=", 10) == 0;
+  if (auto_mode) {
+    const std::string dir = argv[1] + 10;
+    std::error_code ec;
+    std::vector<std::string> schema_files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string p = entry.path().string();
+      if (entry.is_regular_file() &&
+          p.size() > 12 && p.rfind(".schema.json") == p.size() - 12) {
+        schema_files.push_back(p);
+      }
+    }
+    std::sort(schema_files.begin(), schema_files.end());
+    for (const std::string& f : schema_files) {
+      obs::JsonValue schema;
+      if (!read_file(f, text)) return 1;
+      if (!obs::json_parse(text, schema, error)) {
+        std::fprintf(stderr, "error: %s: %s\n", f.c_str(), error.c_str());
+        return 1;
+      }
+      const std::string tag = schema_tag_of_schema(schema);
+      if (tag.empty()) {
+        std::fprintf(stderr, "warning: %s declares no schema tag\n",
+                     f.c_str());
+        continue;
+      }
+      registry[tag] = {std::move(schema), f};
+    }
+    if (registry.empty()) {
+      std::fprintf(stderr, "error: no *.schema.json with a schema tag in %s\n",
+                   dir.c_str());
+      return 1;
+    }
+  } else {
+    obs::JsonValue schema;
+    if (!read_file(argv[1], text)) return 1;
+    if (!obs::json_parse(text, schema, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", argv[1], error.c_str());
+      return 1;
+    }
+    registry[""] = {std::move(schema), argv[1]};
   }
 
   std::vector<std::string> docs;
@@ -87,8 +178,26 @@ int main(int argc, char** argv) {
       failures.push_back(path);
       continue;
     }
+    const obs::JsonValue* schema = nullptr;
+    if (auto_mode) {
+      const std::string tag = schema_tag_of_doc(doc);
+      const auto it = registry.find(tag);
+      if (it == registry.end()) {
+        failures.push_back(path);
+        std::printf("%s: INVALID\n", path.c_str());
+        if (tag.empty()) {
+          std::printf("  no schema tag\n");
+        } else {
+          std::printf("  unknown schema '%s'\n", tag.c_str());
+        }
+        continue;
+      }
+      schema = &it->second.first;
+    } else {
+      schema = &registry.begin()->second.first;
+    }
     std::vector<std::string> problems;
-    if (obs::json_schema_validate(schema, doc, problems)) {
+    if (obs::json_schema_validate(*schema, doc, problems)) {
       std::printf("%s: OK\n", path.c_str());
     } else {
       failures.push_back(path);
