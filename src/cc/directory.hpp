@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 #include <unordered_set>
@@ -23,7 +24,14 @@ class CoherencyDirectory {
   struct Entry {
     SeqNo seqno = 0;
     NodeId owner = kNoNode;  ///< kNoNode: the storage copy is current
-    std::unordered_set<NodeId> read_auth;
+    /// Lazily allocated: only PCL's read optimization / GEM read
+    /// authorizations populate it, yet every tracked page pays for the
+    /// container. At 256+ nodes the directory holds millions of entries —
+    /// an empty unordered_set per entry (~56 bytes) triples the footprint.
+    /// A null pointer means "no authorizations", and keeping the container
+    /// type (not a sorted vector) preserves the iteration order revocation
+    /// messages are sent in, which committed baselines depend on.
+    std::unique_ptr<std::unordered_set<NodeId>> read_auth;
   };
 
   SeqNo seqno(PageId p) const {
@@ -65,19 +73,26 @@ class CoherencyDirectory {
   // --- read authorizations (PCL read optimization) ---
   bool has_read_auth(PageId p, NodeId n) const {
     auto it = map_.find(p);
-    return it != map_.end() && it->second.read_auth.count(n) != 0;
+    return it != map_.end() && it->second.read_auth &&
+           it->second.read_auth->count(n) != 0;
   }
-  void grant_read_auth(PageId p, NodeId n) { map_[p].read_auth.insert(n); }
+  void grant_read_auth(PageId p, NodeId n) {
+    auto& e = map_[p];
+    if (!e.read_auth) {
+      e.read_auth = std::make_unique<std::unordered_set<NodeId>>();
+    }
+    e.read_auth->insert(n);
+  }
   /// Remove all authorizations except the writer's node; returns the nodes
   /// that must be sent revocation messages.
   std::vector<NodeId> revoke_read_auths(PageId p, NodeId except) {
     std::vector<NodeId> out;
     auto it = map_.find(p);
-    if (it == map_.end()) return out;
-    for (NodeId n : it->second.read_auth) {
+    if (it == map_.end() || !it->second.read_auth) return out;
+    for (NodeId n : *it->second.read_auth) {
       if (n != except) out.push_back(n);
     }
-    it->second.read_auth.clear();
+    it->second.read_auth->clear();
     return out;
   }
 

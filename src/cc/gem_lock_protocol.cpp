@@ -2,13 +2,14 @@
 
 namespace gemsd::cc {
 
-sim::Task<void> GemLockProtocol::glt_access(NodeId n, TxnId txn) {
+sim::Task<void> GemLockProtocol::glt_access(NodeId n, TxnId txn, PageId p) {
   const sim::SimTime t0 = sched().now();
   auto& c = cpu(n);
   co_await c.acquire();
   co_await c.busy(cfg().lock_instr);
-  co_await env_.gem->entry_access();  // read the lock entry into main memory
-  co_await env_.gem->entry_access();  // Compare&Swap the modified entry back
+  auto& gem = env_.storage->gem_for(p);  // shard hosting p's lock entry
+  co_await gem.entry_access();  // read the lock entry into main memory
+  co_await gem.entry_access();  // Compare&Swap the modified entry back
   c.release();
   if (metrics().trace) {
     metrics().trace->span(obs::TraceName::kGemAccess,
@@ -54,7 +55,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
   }
 
   metrics().lock_local.inc();  // GLT cost is location-independent
-  co_await glt_access(txn.node, txn.id);
+  co_await glt_access(txn.node, txn.id, p);
   // A writer invalidates outstanding read authorizations (recorded in the
   // GLT entry it just read) before the lock can be granted.
   if (cfg().gem_read_authorizations && mode == LockMode::Write) {
@@ -67,7 +68,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
   }
   if (res == Logical::GrantedAfterWait) {
     // The woken node re-reads the GLT entry and marks its request granted.
-    co_await glt_access(txn.node, txn.id);
+    co_await glt_access(txn.node, txn.id, p);
   }
 
   if (cfg().gem_read_authorizations && mode == LockMode::Read) {
@@ -99,7 +100,7 @@ sim::Task<LockOutcome> GemLockProtocol::acquire(node::Txn& txn, PageId p,
 
 sim::Task<void> GemLockProtocol::commit_release(node::Txn& txn) {
   for (PageId p : txn.held) {
-    co_await glt_access(txn.node, txn.id);
+    co_await glt_access(txn.node, txn.id, p);
     // Version/ownership updates ride in the same Compare&Swap that releases
     // the lock entry.
     bool dirty = false;
@@ -125,7 +126,7 @@ sim::Task<void> GemLockProtocol::commit_release(node::Txn& txn) {
 
 sim::Task<void> GemLockProtocol::abort_release(node::Txn& txn) {
   for (PageId p : txn.held) {
-    co_await glt_access(txn.node, txn.id);
+    co_await glt_access(txn.node, txn.id, p);
     releasing_node_ = txn.node;
     table_.release(p, txn.id);
     releasing_node_ = kNoNode;

@@ -31,8 +31,10 @@ class GemLockProtocol : public Protocol {
   /// One GLT operation: lock-manager instructions plus entry read + C&S
   /// write-back, processor held throughout. `txn` is the transaction the
   /// access is performed for — recorded on the gem.access trace span so the
-  /// critical-path profiler can see a lock holder's GLT activity.
-  sim::Task<void> glt_access(NodeId n, TxnId txn);
+  /// critical-path profiler can see a lock holder's GLT activity. `p` is the
+  /// page whose lock entry is touched: it selects the GEM shard hosting the
+  /// entry (gem_shards=1 routes everything to the single device).
+  sim::Task<void> glt_access(NodeId n, TxnId txn, PageId p);
 };
 
 }  // namespace gemsd::cc

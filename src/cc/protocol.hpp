@@ -14,7 +14,7 @@
 #include "sim/oneshot.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
-#include "storage/gem_device.hpp"
+#include "storage/storage_manager.hpp"
 
 namespace gemsd::cc {
 
@@ -47,7 +47,9 @@ class Protocol {
     Metrics* metrics;
     net::Comm* comm;
     net::Network* net;
-    storage::GemDevice* gem;
+    /// Device layer hosting the sharded GEM authority (GLT entry ops route
+    /// by page through storage->gem_for(p)).
+    storage::StorageManager* storage;
     std::vector<node::CpuSet*> cpus;
     std::vector<node::BufferManager*> bufs;
   };

@@ -1,0 +1,21 @@
+#include "cc/shard_map.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace gemsd::cc {
+
+ShardMap::ShardMap(Policy policy, int shards, std::int64_t keys_per_block)
+    : policy_(policy), shards_(shards), keys_per_block_(keys_per_block) {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardMap: shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  if (keys_per_block < 1) {
+    throw std::invalid_argument(
+        "ShardMap: keys_per_block must be >= 1, got " +
+        std::to_string(keys_per_block));
+  }
+}
+
+}  // namespace gemsd::cc

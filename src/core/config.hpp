@@ -21,6 +21,12 @@ struct CpuConfig {
 /// Global Extended Memory device (Table 4.1).
 struct GemConfig {
   int servers = 1;
+  /// Independent GEM servers the global lock/coherency authority is sharded
+  /// over (spec key `gem_shards`). Each shard is its own k-server station
+  /// with `servers` servers; GLT entry ops route by cc::ShardMap. 1 (the
+  /// default, and the paper's model) keeps the single-GEM behaviour
+  /// bit-identical — shards=1 is the oracle for the sharded code paths.
+  int shards = 1;
   sim::SimTime page_access = sim::usec(50);
   sim::SimTime entry_access = sim::usec(2);
   double io_instr = 300;  ///< CPU instructions to initiate a GEM page I/O

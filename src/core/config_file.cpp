@@ -286,6 +286,14 @@ PartitionConfig* find_partition(SystemConfig& cfg, const std::string& name) {
 /// caller.
 void apply_one(SystemConfig& cfg, const std::string& key,
                const std::string& val, int line) {
+  // Conditionally-emitted scalar keys (spec_keys writes them only when they
+  // differ from the default, like the per-partition keys below, so shipped
+  // single-GEM specs keep their exact bytes).
+  if (key == "gem_shards") {
+    cfg.gem.shards = parse_int(val, line);
+    if (cfg.gem.shards < 1) fail(line, "gem_shards must be >= 1");
+    return;
+  }
   const auto dot = key.find('.');
   if (dot != std::string::npos) {
     const std::string field = key.substr(0, dot);
@@ -458,6 +466,9 @@ SpecKeyValues spec_keys(const SystemConfig& cfg) {
   SpecKeyValues out;
   for (const KeyDef& def : kSystemKeys) {
     out.push_back({def.key, def.get(cfg)});
+  }
+  if (cfg.gem.shards != 1) {
+    out.push_back({"gem_shards", fmt_int(cfg.gem.shards)});
   }
   for (const auto& pc : cfg.partitions) {
     if (pc.storage != StorageKind::Disk) {

@@ -10,6 +10,7 @@
 #include "obs/engprof.hpp"
 #include "obs/fingerprint.hpp"
 #include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -463,6 +464,16 @@ std::string write_bench_json(const std::string& bench,
   w.kv("bench", bench);
   w.kv("caption", caption);
   w.kv("git", obs::build_git_describe());
+  // Process footprint at emission time: the peak covers every run in the
+  // file, which is what scale-out memory budgets gate on. Best-effort zeros
+  // off Linux; wall-clock-side only, so metrics stay bit-identical.
+  const obs::MemoryUsage mem = obs::memory_usage();
+  w.key("memory");
+  w.begin_object();
+  w.kv("current_rss_bytes", mem.current_rss_bytes);
+  w.kv("peak_rss_bytes", mem.peak_rss_bytes);
+  w.kv("heap_bytes", mem.heap_bytes);
+  w.end_object();
   w.key("options");
   w.begin_object();
   w.kv("warmup", opt.warmup);

@@ -9,6 +9,7 @@
 #include "cc/lock_engine_protocol.hpp"
 #include "cc/primary_copy_protocol.hpp"
 #include "obs/engprof.hpp"
+#include "obs/memory.hpp"
 #include "obs/timeseries.hpp"
 #include "workload/debit_credit.hpp"
 
@@ -22,11 +23,10 @@ System::System(const SystemConfig& cfg, Workload wl)
       metrics_(cfg.partitions.size(),
                static_cast<std::size_t>(wl.gen ? wl.gen->num_types() : 1)),
       wl_(std::move(wl)) {
-  gem_ = std::make_unique<storage::GemDevice>(sched_, cfg_.gem);
-  storage_ = std::make_unique<storage::StorageManager>(sched_, rng_, cfg_,
-                                                       *gem_);
+  storage_ = std::make_unique<storage::StorageManager>(sched_, rng_, cfg_);
   network_ = std::make_unique<net::Network>(sched_, cfg_.comm);
-  comm_ = std::make_unique<net::Comm>(sched_, *network_, cfg_.comm, gem_.get());
+  comm_ = std::make_unique<net::Comm>(sched_, *network_, cfg_.comm,
+                                      storage_.get());
 
   std::vector<node::CpuSet*> cpu_ptrs;
   for (int n = 0; n < cfg_.nodes; ++n) {
@@ -85,7 +85,11 @@ System::System(const SystemConfig& cfg, Workload wl)
       double cpu = 0;
       for (const auto& cp : cpus_) cpu += cp->resource().busy_time();
       c.cpu_busy_s = cpu;
-      c.gem_busy_s = gem_->server().busy_time();
+      double gem_busy = 0;
+      for (int s = 0; s < storage_->gem_shards(); ++s) {
+        gem_busy += storage_->gem(s).server().busy_time();
+      }
+      c.gem_busy_s = gem_busy;
       c.net_busy_s = network_->link().busy_time();
       double disk = 0;
       for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
@@ -94,7 +98,9 @@ System::System(const SystemConfig& cfg, Workload wl)
         }
       }
       for (int n = 0; n < cfg_.nodes; ++n) {
-        disk += storage_->log_group(n).arms().busy_time();
+        if (const auto* g = storage_->log_group_if_built(n)) {
+          disk += g->arms().busy_time();
+        }
       }
       c.disk_busy_s = disk;
     });
@@ -104,13 +110,16 @@ System::System(const SystemConfig& cfg, Workload wl)
         disk_arms += static_cast<double>(g->arms().capacity());
       }
     }
-    for (int n = 0; n < cfg_.nodes; ++n) {
-      disk_arms +=
-          static_cast<double>(storage_->log_group(n).arms().capacity());
+    // Log groups are built lazily; their arm capacity is config-determined.
+    disk_arms += static_cast<double>(cfg_.nodes) *
+                 std::max(cfg_.log_disks_per_node, 1);
+    double gem_servers = 0;
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      gem_servers += static_cast<double>(storage_->gem(s).server().capacity());
     }
     ts_->set_capacities(
         static_cast<double>(cfg_.nodes) * cfg_.cpu.processors,
-        static_cast<double>(gem_->server().capacity()),
+        gem_servers,
         static_cast<double>(network_->link().capacity()), disk_arms);
   }
   if (cfg_.obs.progress_every_s > 0.0) {
@@ -126,7 +135,7 @@ System::System(const SystemConfig& cfg, Workload wl)
   env.metrics = &metrics_;
   env.comm = comm_.get();
   env.net = network_.get();
-  env.gem = gem_.get();
+  env.storage = storage_.get();
   env.cpus = cpu_ptrs;
   for (auto& b : bufs_) env.bufs.push_back(b.get());
 
@@ -166,7 +175,14 @@ System::~System() = default;
 sim::Task<void> System::source() {
   const double rate = cfg_.arrival_rate_per_node * cfg_.nodes;
   for (;;) {
-    co_await sched_.delay(rng_.exponential(1.0 / rate));
+    // Optional diurnal modulation (scale_out): a non-homogeneous Poisson
+    // stream via per-arrival thinning of the mean inter-arrival time. The
+    // unset default keeps the draw expression — and its bytes — unchanged.
+    const double mean_gap =
+        wl_.arrival_factor
+            ? 1.0 / (rate * std::max(wl_.arrival_factor(sched_.now()), 1e-9))
+            : 1.0 / rate;
+    co_await sched_.delay(rng_.exponential(mean_gap));
     auto spec = wl_.gen->next(rng_);
     NodeId n = wl_.router->route(spec, rng_);
     // Route around crashed nodes (simple successor fallback).
@@ -288,9 +304,12 @@ sim::Task<void> System::sampler() {
     s.active_txns = active;
     s.mpl_waiting = mplq;
     s.cpu_busy = sim::safe_ratio(busy, procs);
-    s.gem_busy =
-        sim::safe_ratio(static_cast<double>(gem_->server().busy()),
-                        static_cast<double>(gem_->server().capacity()));
+    double gem_busy = 0, gem_cap = 0;
+    for (int sh = 0; sh < storage_->gem_shards(); ++sh) {
+      gem_busy += static_cast<double>(storage_->gem(sh).server().busy());
+      gem_cap += static_cast<double>(storage_->gem(sh).server().capacity());
+    }
+    s.gem_busy = sim::safe_ratio(gem_busy, gem_cap);
     s.net_busy = static_cast<double>(network_->link().busy());
     double dq = 0;
     for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
@@ -352,14 +371,17 @@ void System::progress_tick() {
   // One JSONL line on stderr: greppable, and invisible to every stdout
   // consumer (CSV, tables, JSON exports). events_per_s / commits_per_s /
   // sim_per_s cover the last interval; commits and events are cumulative.
+  // rss_bytes is the interval resident-set reading (0 where unavailable) —
+  // the live view of the memory.* results block.
   std::fprintf(stderr,
                "{\"progress\":{\"sim_s\":%.3f,\"commits\":%" PRIu64
                ",\"events\":%" PRIu64 ",\"events_per_s\":%.0f"
                ",\"interval_commits\":%" PRIu64 ",\"commits_per_s\":%.1f"
                ",\"sim_per_s\":%.3f,\"windows\":%" PRIu64
-               ",\"nodes\":%d}}\n",
+               ",\"nodes\":%d,\"rss_bytes\":%" PRIu64 "}}\n",
                sim_now, commits, events, eps, int_commits, cps, sim_per_s,
-               engine_.windows_executed(), cfg_.nodes);
+               engine_.windows_executed(), cfg_.nodes,
+               obs::current_rss_bytes());
   progress_last_s_ = now_s;
   progress_prev_events_ = events;
   progress_prev_commits_ = commits;
@@ -379,7 +401,6 @@ void System::reset_stats() {
   // whole run so warm-up convergence stays visible to the analyzer.
   if (ts_) ts_->fold(sched_.now());
   metrics_.reset();
-  gem_->reset_stats();
   network_->reset_stats();
   comm_->reset_stats();
   storage_->reset_stats();
@@ -446,7 +467,15 @@ RunResult System::collect() const {
   }
   r.cpu_util = util_sum / static_cast<double>(cpus_.size());
   r.cpu_util_max = util_max;
-  r.gem_util = gem_->utilization();
+  {
+    // Mean utilization across the GEM shards (the single device's own value
+    // when gem_shards=1 — shard 0 IS the device there).
+    double g = 0;
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      g += storage_->gem(s).utilization();
+    }
+    r.gem_util = g / static_cast<double>(storage_->gem_shards());
+  }
   r.net_util = network_->utilization();
   r.tps_per_node_at_80 =
       util_max > 0 ? cfg_.arrival_rate_per_node * 0.8 / util_max : 0.0;
@@ -578,9 +607,40 @@ RunResult System::collect() const {
   for (std::size_t n = 0; n < tms_.size(); ++n) {
     add_resource("mpl.node" + std::to_string(n), tms_[n]->mpl());
   }
-  add_resource("gem", gem_->server());
-  add("gem.page_ops", static_cast<double>(gem_->page_ops()));
-  add("gem.entry_ops", static_cast<double>(gem_->entry_ops()));
+  // GEM detail: with a single shard the canonical keys keep their exact
+  // bytes (shard 0 is the device); sharded runs add aggregate totals plus
+  // additive per-shard keys — `gemsd_analyze --compare` ignores detail keys,
+  // so the extra rows never break baseline comparisons.
+  if (storage_->gem_shards() == 1) {
+    add_resource("gem", storage_->gem().server());
+    add("gem.page_ops", static_cast<double>(storage_->gem().page_ops()));
+    add("gem.entry_ops", static_cast<double>(storage_->gem().entry_ops()));
+  } else {
+    double g_util = 0, g_queue = 0;
+    std::uint64_t g_pages = 0, g_entries = 0, g_completions = 0;
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      const auto& dev = storage_->gem(s);
+      g_util += dev.utilization();
+      g_queue += dev.server().mean_queue_length();
+      g_pages += dev.page_ops();
+      g_entries += dev.entry_ops();
+      g_completions += dev.server().completions();
+    }
+    const double shards = static_cast<double>(storage_->gem_shards());
+    add("gem.shards", shards);
+    add("gem.util", g_util / shards);
+    add("gem.queue_mean", g_queue);
+    add("gem.completions", static_cast<double>(g_completions));
+    add("gem.page_ops", static_cast<double>(g_pages));
+    add("gem.entry_ops", static_cast<double>(g_entries));
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      const auto& dev = storage_->gem(s);
+      const std::string pre = "gem.shard" + std::to_string(s);
+      add_resource(pre, dev.server());
+      add(pre + ".page_ops", static_cast<double>(dev.page_ops()));
+      add(pre + ".entry_ops", static_cast<double>(dev.entry_ops()));
+    }
+  }
   add_resource("net", network_->link());
   add("net.short_msgs", static_cast<double>(network_->short_count()));
   add("net.long_msgs", static_cast<double>(network_->long_count()));
@@ -595,10 +655,21 @@ RunResult System::collect() const {
     }
   }
   for (std::size_t n = 0; n < static_cast<std::size_t>(cfg_.nodes); ++n) {
-    const auto& g = storage_->log_group(static_cast<NodeId>(n));
     const std::string pre = "log.node" + std::to_string(n);
-    add_resource(pre + ".arms", g.arms());
-    add(pre + ".writes", static_cast<double>(g.writes()));
+    if (const auto* g =
+            storage_->log_group_if_built(static_cast<NodeId>(n))) {
+      add_resource(pre + ".arms", g->arms());
+      add(pre + ".writes", static_cast<double>(g->writes()));
+    } else {
+      // Never built (GEM-resident log / idle node): report the exact zeros
+      // an eagerly constructed untouched DiskGroup would — same keys, same
+      // bytes, none of the per-node allocations.
+      add(pre + ".arms.util", 0.0);
+      add(pre + ".arms.queue_mean", 0.0);
+      add(pre + ".arms.wait_mean_s", 0.0);
+      add(pre + ".arms.completions", 0.0);
+      add(pre + ".writes", 0.0);
+    }
   }
   add("sched.queued_events", static_cast<double>(sched_.queued_events()));
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,6 +42,10 @@ class System {
     std::unique_ptr<workload::WorkloadGenerator> gen;
     std::unique_ptr<workload::Router> router;
     std::unique_ptr<workload::GlaMap> gla;  ///< required for PCL
+    /// Optional arrival-rate modulation (scale_out's diurnal curve): the
+    /// SOURCE multiplies the configured rate by factor(now). Unset (the
+    /// default) keeps the constant-rate arrival stream byte-identical.
+    std::function<double(sim::SimTime)> arrival_factor;
   };
 
   System(const SystemConfig& cfg, Workload wl);
@@ -67,7 +72,8 @@ class System {
   node::TransactionManager& tm(NodeId n) { return *tms_[static_cast<std::size_t>(n)]; }
   node::LogManager& log(NodeId n) { return *logs_[static_cast<std::size_t>(n)]; }
   storage::StorageManager& storage() { return *storage_; }
-  storage::GemDevice& gem() { return *gem_; }
+  /// Shard 0 of the GEM authority (the whole device when gem_shards=1).
+  storage::GemDevice& gem() { return storage_->gem(); }
   net::Network& network() { return *network_; }
   const SystemConfig& config() const { return cfg_; }
 
@@ -118,7 +124,6 @@ class System {
   sim::Scheduler& sched_;
   sim::Rng rng_;
   Metrics metrics_;
-  std::unique_ptr<storage::GemDevice> gem_;
   std::unique_ptr<storage::StorageManager> storage_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<net::Comm> comm_;

@@ -8,7 +8,7 @@
 #include "net/network.hpp"
 #include "node/cpu.hpp"
 #include "obs/trace.hpp"
-#include "storage/gem_device.hpp"
+#include "storage/storage_manager.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/task.hpp"
 
@@ -28,9 +28,13 @@ namespace gemsd::net {
 /// coroutine lambdas dangle (C++ Core Guidelines CP.51).
 class Comm {
  public:
+  /// `storage` is required for the GemStore transport: a message to node n
+  /// is deposited in — and picked up from — n's GEM mailbox shard
+  /// (storage->gem_for_node(n)), so with gem_shards>1 independent node pairs
+  /// queue on independent stations.
   Comm(sim::Scheduler& sched, Network& net, const CommConfig& cfg,
-       storage::GemDevice* gem = nullptr)
-      : sched_(sched), net_(net), cfg_(cfg), gem_(gem) {}
+       storage::StorageManager* storage = nullptr)
+      : sched_(sched), net_(net), cfg_(cfg), storage_(storage) {}
 
   void attach_nodes(std::vector<node::CpuSet*> cpus) { cpus_ = std::move(cpus); }
 
@@ -45,14 +49,15 @@ class Comm {
                        sim::Task<void> handler) {
     assert(from != to && "no self-messages: local work is message-free");
     const sim::SimTime t0 = sched_.now();
-    if (cfg_.transport == MsgTransport::GemStore && gem_ != nullptr) {
+    if (cfg_.transport == MsgTransport::GemStore && storage_ != nullptr) {
       // Storage-based communication (Section 2): the sender deposits the
       // message in GEM with a synchronous access and a slim CPU path; the
       // receiver picks it up the same way. No protocol stack, no network.
+      // Both ends touch the *receiver's* mailbox shard.
       auto& c = *cpus_[static_cast<std::size_t>(from)];
       co_await c.acquire();
       co_await c.busy(cfg_.gem_msg_instr);
-      co_await gem_transfer(long_msg);
+      co_await gem_transfer(to, long_msg);
       c.release();
       sent_.inc();
       const std::uint64_t fid = sent_.value();
@@ -97,13 +102,15 @@ class Comm {
     co_await std::move(handler);
   }
 
-  /// One GEM transfer: a full page access for page-sized messages, a few
-  /// entry accesses for short control messages.
-  sim::Task<void> gem_transfer(bool long_msg) {
+  /// One GEM transfer against node `to`'s mailbox shard: a full page access
+  /// for page-sized messages, a few entry accesses for short control
+  /// messages.
+  sim::Task<void> gem_transfer(NodeId to, bool long_msg) {
+    auto& gem = storage_->gem_for_node(to);
     if (long_msg) {
-      co_await gem_->page_access();
+      co_await gem.page_access();
     } else {
-      for (int i = 0; i < 4; ++i) co_await gem_->entry_access();
+      for (int i = 0; i < 4; ++i) co_await gem.entry_access();
     }
   }
 
@@ -113,7 +120,7 @@ class Comm {
     auto& c = *cpus_[static_cast<std::size_t>(to)];
     co_await c.acquire();
     co_await c.busy(cfg_.gem_msg_instr);
-    co_await gem_transfer(long_msg);
+    co_await gem_transfer(to, long_msg);
     c.release();
     if (trace_) {
       trace_->span(obs::TraceName::kMsgRecv, static_cast<std::int16_t>(to),
@@ -127,7 +134,7 @@ class Comm {
   sim::Scheduler& sched_;
   Network& net_;
   CommConfig cfg_;
-  storage::GemDevice* gem_;
+  storage::StorageManager* storage_;
   std::vector<node::CpuSet*> cpus_;
   sim::Counter sent_;
 #if GEMSD_TRACING_ENABLED

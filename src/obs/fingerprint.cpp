@@ -41,6 +41,12 @@ std::string config_json(const SystemConfig& cfg) {
   w.key("gem");
   w.begin_object();
   w.kv("servers", static_cast<std::int64_t>(cfg.gem.servers));
+  // Only when sharded: the canonical single-GEM serialization must keep its
+  // exact bytes, or every config_hash — and the committed baselines keyed on
+  // them — would shift.
+  if (cfg.gem.shards != 1) {
+    w.kv("shards", static_cast<std::int64_t>(cfg.gem.shards));
+  }
   w.kv("page_access", cfg.gem.page_access);
   w.kv("entry_access", cfg.gem.entry_access);
   w.kv("io_instr", cfg.gem.io_instr);

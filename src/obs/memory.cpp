@@ -1,0 +1,73 @@
+#include "obs/memory.hpp"
+
+#if defined(__linux__)
+#include <cstdio>
+#include <cstring>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace gemsd::obs {
+
+namespace {
+
+#if defined(__linux__)
+/// Read one "VmXXX:  1234 kB" line from /proc/self/status. Returns 0 when
+/// the file or the field is missing (non-procfs environments).
+std::uint64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  const std::size_t flen = std::strlen(field);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f)) {
+    if (std::strncmp(line, field, flen) == 0 && line[flen] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + flen + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+#endif
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() {
+#if defined(__linux__)
+  return proc_status_kb("VmRSS") * 1024;
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__linux__)
+  return proc_status_kb("VmHWM") * 1024;
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t heap_bytes() {
+#if defined(__GLIBC__) && __GLIBC__ >= 2 && defined(__GLIBC_MINOR__) && \
+    (__GLIBC__ > 2 || __GLIBC_MINOR__ >= 33)
+  const struct mallinfo2 mi = mallinfo2();
+  return static_cast<std::uint64_t>(mi.uordblks) +
+         static_cast<std::uint64_t>(mi.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+MemoryUsage memory_usage() {
+  MemoryUsage m;
+  m.current_rss_bytes = current_rss_bytes();
+  m.peak_rss_bytes = peak_rss_bytes();
+  m.heap_bytes = heap_bytes();
+  return m;
+}
+
+}  // namespace gemsd::obs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace gemsd::obs {
+
+/// Process memory usage for the results-level `memory.*` block and the
+/// --progress heartbeat. All readings are best-effort: on platforms (or
+/// sandboxes) where a source is unavailable the field is 0, never an error —
+/// observation must not fail a run. Wall-clock-side only: nothing here reads
+/// or perturbs simulation state, so results stay bit-identical with or
+/// without memory reporting.
+struct MemoryUsage {
+  std::uint64_t current_rss_bytes = 0;  ///< resident set right now (VmRSS)
+  std::uint64_t peak_rss_bytes = 0;     ///< high-water resident set (VmHWM)
+  std::uint64_t heap_bytes = 0;         ///< allocator-held bytes (mallinfo2)
+};
+
+/// Resident set size right now (0 if unknown).
+std::uint64_t current_rss_bytes();
+/// Peak resident set size of this process (0 if unknown).
+std::uint64_t peak_rss_bytes();
+/// Bytes currently held by the allocator, where the libc exposes it
+/// (glibc mallinfo2; 0 elsewhere).
+std::uint64_t heap_bytes();
+
+MemoryUsage memory_usage();
+
+}  // namespace gemsd::obs

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "core/config.hpp"
 #include "sim/resource.hpp"
 #include "sim/scheduler.hpp"
@@ -18,8 +20,11 @@ namespace gemsd::storage {
 /// not released (that is the defining property of close coupling).
 class GemDevice {
  public:
-  GemDevice(sim::Scheduler& sched, const GemConfig& cfg)
-      : cfg_(cfg), server_(sched, cfg.servers, "GEM") {}
+  /// `name` labels the k-server station ("GEM" for the single device /
+  /// shard 0; sharded authorities append the shard index).
+  GemDevice(sim::Scheduler& sched, const GemConfig& cfg,
+            std::string name = "GEM")
+      : cfg_(cfg), server_(sched, cfg.servers, std::move(name)) {}
 
   /// Transfer one page between main memory and GEM.
   sim::Task<void> page_access() {

@@ -3,8 +3,18 @@
 namespace gemsd::storage {
 
 StorageManager::StorageManager(sim::Scheduler& sched, sim::Rng& rng,
-                               const SystemConfig& cfg, GemDevice& gem)
-    : sched_(sched), cfg_(cfg), gem_(gem) {
+                               const SystemConfig& cfg)
+    : sched_(sched),
+      rng_(rng),
+      cfg_(cfg),
+      gem_map_(cc::ShardMap::hashed(cfg.gem.shards)) {
+  // The sharded lock/coherency authority: shard 0 keeps the canonical "GEM"
+  // station name (shards=1 reproduces the single-device model exactly).
+  gems_.reserve(static_cast<std::size_t>(cfg.gem.shards));
+  for (int s = 0; s < cfg.gem.shards; ++s) {
+    gems_.push_back(std::make_unique<GemDevice>(
+        sched, cfg.gem, s == 0 ? "GEM" : "GEM" + std::to_string(s)));
+  }
   groups_.reserve(cfg.partitions.size());
   gem_caches_.resize(cfg.partitions.size());
   for (std::size_t i = 0; i < cfg.partitions.size(); ++i) {
@@ -33,19 +43,24 @@ StorageManager::StorageManager(sim::Scheduler& sched, sim::Rng& rng,
                          cfg.disk.transfer},
         std::move(cache)));
   }
-  logs_.reserve(static_cast<std::size_t>(cfg.nodes));
-  for (int n = 0; n < cfg.nodes; ++n) {
-    logs_.push_back(std::make_unique<DiskGroup>(
-        sched, rng, "log" + std::to_string(n),
-        std::max(cfg.log_disks_per_node, 1),
-        DiskGroup::Times{cfg.disk.log_disk, cfg.disk.controller,
-                         cfg.disk.transfer}));
+  logs_.resize(static_cast<std::size_t>(cfg.nodes));
+}
+
+DiskGroup& StorageManager::log_group(NodeId n) {
+  auto& slot = logs_[static_cast<std::size_t>(n)];
+  if (!slot) {
+    slot = std::make_unique<DiskGroup>(
+        sched_, rng_, "log" + std::to_string(n),
+        std::max(cfg_.log_disks_per_node, 1),
+        DiskGroup::Times{cfg_.disk.log_disk, cfg_.disk.controller,
+                         cfg_.disk.transfer});
   }
+  return *slot;
 }
 
 sim::Task<bool> StorageManager::read(PageId p) {
   if (is_gem(p.partition)) {
-    co_await gem_.page_access();
+    co_await gem_for(p).page_access();
     co_return true;
   }
   co_return co_await groups_[static_cast<std::size_t>(p.partition)]->read(p);
@@ -53,7 +68,7 @@ sim::Task<bool> StorageManager::read(PageId p) {
 
 sim::Task<void> StorageManager::write(PageId p) {
   if (is_gem(p.partition)) {
-    co_await gem_.page_access();
+    co_await gem_for(p).page_access();
     co_return;
   }
   co_await groups_[static_cast<std::size_t>(p.partition)]->write(p);
@@ -61,23 +76,22 @@ sim::Task<void> StorageManager::write(PageId p) {
 
 sim::Task<void> StorageManager::log_write(NodeId n) {
   if (cfg_.log_storage == StorageKind::Gem) {
-    co_await gem_.page_access();
+    co_await gem_for_node(n).page_access();
     co_return;
   }
-  co_await logs_[static_cast<std::size_t>(n)]->write(
-      PageId{-1, static_cast<std::int64_t>(n)});
+  co_await log_group(n).write(PageId{-1, static_cast<std::int64_t>(n)});
 }
 
 sim::Task<bool> StorageManager::gem_cache_probe(PageId p) {
-  co_await gem_.entry_access();  // cache directory lookup
+  co_await gem_for(p).entry_access();  // cache directory lookup
   auto& cache = *gem_caches_[static_cast<std::size_t>(p.partition)];
   if (!cache.read_hit(p)) co_return false;
-  co_await gem_.page_access();  // transfer the cached page to main memory
+  co_await gem_for(p).page_access();  // transfer the cached page to memory
   co_return true;
 }
 
 sim::Task<void> StorageManager::gem_cache_insert(PageId p, bool dirty) {
-  co_await gem_.page_access();
+  co_await gem_for(p).page_access();
   auto& cache = *gem_caches_[static_cast<std::size_t>(p.partition)];
   const auto ev = cache.install(p, dirty);
   if (ev.any) sched_.spawn(destage_from_gem(ev.page));
@@ -96,11 +110,13 @@ sim::Task<void> StorageManager::disk_read(PageId p) {
 }
 
 void StorageManager::reset_stats() {
+  for (auto& g : gems_) g->reset_stats();
   for (auto& g : groups_)
     if (g) g->reset_stats();
   for (auto& c : gem_caches_)
     if (c) c->reset_stats();
-  for (auto& l : logs_) l->reset_stats();
+  for (auto& l : logs_)
+    if (l) l->reset_stats();
 }
 
 }  // namespace gemsd::storage

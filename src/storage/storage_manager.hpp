@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "cc/shard_map.hpp"
 #include "core/config.hpp"
 #include "core/types.hpp"
 #include "sim/random.hpp"
@@ -17,10 +18,17 @@ namespace gemsd::storage {
 /// Routes page I/O to the device holding each partition (disk group with or
 /// without cache, or GEM) and owns the per-node log devices. Pure device
 /// layer: CPU overhead for I/O is charged by the buffer/log managers.
+///
+/// The global lock/coherency authority is hosted here as a first-class
+/// sharded service: `cfg.gem.shards` independent GemDevice servers (each its
+/// own k-server station), with a deterministic cc::ShardMap routing page-
+/// and entry-granular operations. Shard 0 keeps the name "GEM" and, with
+/// shards=1 (the default), every path reduces to the paper's single device
+/// bit-identically.
 class StorageManager {
  public:
   StorageManager(sim::Scheduler& sched, sim::Rng& rng,
-                 const SystemConfig& cfg, GemDevice& gem);
+                 const SystemConfig& cfg);
 
   bool is_gem(PartitionId p) const {
     return cfg_.partitions[static_cast<std::size_t>(p)].storage ==
@@ -55,11 +63,36 @@ class StorageManager {
   sim::Task<void> log_write(NodeId n);
   bool log_on_gem() const { return cfg_.log_storage == StorageKind::Gem; }
 
-  GemDevice& gem() { return gem_; }
+  // --- sharded GEM authority ---
+  GemDevice& gem(int shard = 0) {
+    return *gems_[static_cast<std::size_t>(shard)];
+  }
+  const GemDevice& gem(int shard = 0) const {
+    return *gems_[static_cast<std::size_t>(shard)];
+  }
+  /// Shard hosting page p's GLT entry / GEM-resident page slot.
+  GemDevice& gem_for(PageId p) {
+    return *gems_[static_cast<std::size_t>(gem_map_.shard_of(p))];
+  }
+  /// Shard hosting node n's per-node GEM state (message mailbox, GEM log).
+  GemDevice& gem_for_node(NodeId n) {
+    return *gems_[static_cast<std::size_t>(gem_map_.shard_of_node(n))];
+  }
+  int gem_shards() const { return static_cast<int>(gems_.size()); }
+  const cc::ShardMap& gem_map() const { return gem_map_; }
+
   DiskGroup* group(PartitionId p) {
     return groups_[static_cast<std::size_t>(p)].get();  // null if GEM
   }
-  DiskGroup& log_group(NodeId n) { return *logs_[static_cast<std::size_t>(n)]; }
+  /// Per-node log device, built on first use: at 256+ nodes with GEM-resident
+  /// logs, eagerly constructing a DiskGroup (two Resources + queues) per node
+  /// is pure waste — an untouched group reports all-zero stats anyway.
+  DiskGroup& log_group(NodeId n);
+  /// Read-only view for stats collection: null when the node never logged to
+  /// disk (report zeros; identical to an eagerly built idle group).
+  const DiskGroup* log_group_if_built(NodeId n) const {
+    return logs_[static_cast<std::size_t>(n)].get();
+  }
 
   void reset_stats();
 
@@ -67,11 +100,13 @@ class StorageManager {
   sim::Task<void> destage_from_gem(PageId p);
 
   sim::Scheduler& sched_;
+  sim::Rng& rng_;
   const SystemConfig& cfg_;
-  GemDevice& gem_;
+  std::vector<std::unique_ptr<GemDevice>> gems_;  // cfg.gem.shards stations
+  cc::ShardMap gem_map_;
   std::vector<std::unique_ptr<DiskGroup>> groups_;  // per partition
   std::vector<std::unique_ptr<GemPageCache>> gem_caches_;
-  std::vector<std::unique_ptr<DiskGroup>> logs_;    // per node
+  std::vector<std::unique_ptr<DiskGroup>> logs_;    // per node, lazily built
 };
 
 }  // namespace gemsd::storage

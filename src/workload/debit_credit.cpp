@@ -48,7 +48,7 @@ NodeId DebitCreditGlaMap::gla(PageId page) const {
     default:
       return 0;  // HISTORY is not locked; never queried
   }
-  return static_cast<NodeId>(branch / Ids::kBranchesPerUnit) % nodes_;
+  return static_cast<NodeId>(map_.shard_of_key(branch));
 }
 
 std::unique_ptr<Router> make_debit_credit_router(Routing routing, int nodes) {

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "cc/shard_map.hpp"
 #include "core/config.hpp"
 #include "workload/workload.hpp"
 
@@ -40,14 +41,18 @@ class DebitCreditGenerator : public WorkloadGenerator {
 
 /// GLA assignment for debit-credit under PCL: each node gets the lock
 /// authority for a contiguous block of branches together with their TELLER
-/// and ACCOUNT records (Section 3.2). HISTORY is not locked.
+/// and ACCOUNT records (Section 3.2). HISTORY is not locked. The block rule
+/// itself is cc::ShardMap::blocked over the branch number — the same
+/// partitioning layer the sharded GLT routes through.
 class DebitCreditGlaMap : public GlaMap {
  public:
-  explicit DebitCreditGlaMap(int nodes) : nodes_(nodes) {}
+  explicit DebitCreditGlaMap(int nodes)
+      : map_(cc::ShardMap::blocked(nodes,
+                                   DebitCreditIds::kBranchesPerUnit)) {}
   NodeId gla(PageId page) const override;
 
  private:
-  int nodes_;
+  cc::ShardMap map_;
 };
 
 /// Branch-affinity router for debit-credit (node = branch block).

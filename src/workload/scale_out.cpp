@@ -1,0 +1,93 @@
+#include "workload/scale_out.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gemsd::workload {
+
+ScaleOutGenerator::ScaleOutGenerator(ScaleOutSpec spec, int nodes)
+    : spec_(spec),
+      total_keys_(spec.keys_per_node * nodes),
+      stride_(spec.keys_per_node + 1),
+      zipf_(static_cast<std::size_t>(spec.keys_per_node * nodes),
+            spec.zipf_theta) {
+  if (nodes < 1 || spec_.keys_per_node < 1 || spec_.pages_per_key < 1 ||
+      spec_.refs_per_txn < 1) {
+    throw std::invalid_argument("ScaleOutGenerator: bad spec");
+  }
+  while (std::gcd(stride_, total_keys_) != 1) ++stride_;
+}
+
+TxnSpec ScaleOutGenerator::next(sim::Rng& rng) {
+  // Zipf rank 0 is the hottest key; the drift offset rotates which concrete
+  // key that is, advancing one key every drift_every_txns transactions.
+  const std::int64_t offset = hot_key_offset();
+  ++generated_;
+  const auto rank = static_cast<std::int64_t>(zipf_.sample(rng));
+  const std::int64_t key = key_of_rank(rank, offset);
+
+  TxnSpec t;
+  t.type = 0;
+  t.affinity_key = key;
+  t.refs.reserve(static_cast<std::size_t>(spec_.refs_per_txn));
+  for (int r = 0; r < spec_.refs_per_txn; ++r) {
+    // Mostly block-local accesses; a remote_fraction share goes to another
+    // Zipf-drawn key's block (the cross-node coherency traffic).
+    std::int64_t ref_key = key;
+    if (rng.uniform() < spec_.remote_fraction) {
+      const auto rr = static_cast<std::int64_t>(zipf_.sample(rng));
+      ref_key = key_of_rank(rr, offset);
+    }
+    const std::int64_t page =
+        ref_key * spec_.pages_per_key +
+        rng.uniform_int(0, spec_.pages_per_key - 1);
+    const bool write = rng.bernoulli(spec_.write_fraction);
+    t.refs.push_back(PageRef{PageId{ScaleOutIds::kData, page}, write, false});
+  }
+  return t;
+}
+
+SystemConfig make_scale_out_config(int nodes, const ScaleOutSpec& spec) {
+  SystemConfig c;
+  c.nodes = nodes;
+  c.routing = Routing::Affinity;
+  c.update = UpdateStrategy::NoForce;
+  // The diurnal peak is 1.5x the base rate; 4 processors would saturate
+  // there and the run would measure CPU queueing, not the coupling core.
+  c.cpu.processors = 8;
+  c.partitions.resize(1);
+  auto& data = c.partitions[ScaleOutIds::kData];
+  data.name = "DATA";
+  data.pages_per_unit = spec.keys_per_node * spec.pages_per_key;
+  data.blocking_factor = 1;
+  data.locked = true;
+  data.storage = StorageKind::Gem;
+  // The log stays on per-node disks: with lazy log groups only nodes that
+  // actually commit build one, which the 512-node runs rely on.
+  return c;
+}
+
+ScaleOutBundle make_scale_out_workload(const SystemConfig& cfg,
+                                       ScaleOutSpec spec) {
+  ScaleOutBundle b;
+  b.gen = std::make_unique<ScaleOutGenerator>(spec, cfg.nodes);
+  if (cfg.routing == Routing::Random) {
+    b.router = std::make_unique<RandomRouter>(cfg.nodes);
+  } else {
+    b.router = std::make_unique<ShardMapRouter>(
+        cc::ShardMap::blocked(cfg.nodes, spec.keys_per_node));
+  }
+  b.gla = std::make_unique<ShardMapGlaMap>(cc::ShardMap::blocked(
+      cfg.nodes, spec.keys_per_node * spec.pages_per_key));
+  if (spec.diurnal_amplitude != 0.0 && spec.diurnal_period_s > 0.0) {
+    const double amp = spec.diurnal_amplitude;
+    const double period = spec.diurnal_period_s;
+    b.arrival_factor = [amp, period](sim::SimTime t) {
+      return 1.0 + amp * std::sin(2.0 * M_PI * t / period);
+    };
+  }
+  return b;
+}
+
+}  // namespace gemsd::workload

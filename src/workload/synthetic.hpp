@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "cc/shard_map.hpp"
 #include "core/config.hpp"
 #include "workload/workload.hpp"
 
@@ -77,18 +78,18 @@ class KeyGlaMap : public GlaMap {
  public:
   KeyGlaMap(int nodes, std::int64_t affinity_keys,
             std::vector<std::int64_t> partition_pages)
-      : nodes_(nodes),
+      : map_(cc::ShardMap::blocked(nodes)),
         keys_(affinity_keys),
         pages_(std::move(partition_pages)) {}
   NodeId gla(PageId p) const override {
     const std::int64_t n = pages_[static_cast<std::size_t>(p.partition)];
     if (n <= 0) return 0;
     const std::int64_t key = p.page * keys_ / n;  // whose hot region is this
-    return static_cast<NodeId>(key % nodes_);
+    return static_cast<NodeId>(map_.shard_of_key(key));
   }
 
  private:
-  int nodes_;
+  cc::ShardMap map_;  ///< modulo policy (blocked, block size 1)
   std::int64_t keys_;
   std::vector<std::int64_t> pages_;
 };

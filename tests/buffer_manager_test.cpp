@@ -22,7 +22,6 @@ struct Fixture {
   Scheduler sched;
   sim::Rng rng{1};
   Metrics metrics{3};
-  storage::GemDevice gem{sched, cfg.gem};
   std::unique_ptr<storage::StorageManager> storage;
   std::unique_ptr<CpuSet> cpu;
   std::unique_ptr<BufferManager> bm;
@@ -30,7 +29,7 @@ struct Fixture {
   explicit Fixture(int buffer_pages = 4) {
     cfg.nodes = 1;
     cfg.buffer_pages = buffer_pages;
-    storage = std::make_unique<storage::StorageManager>(sched, rng, cfg, gem);
+    storage = std::make_unique<storage::StorageManager>(sched, rng, cfg);
     cpu = std::make_unique<CpuSet>(sched, cfg.cpu, "cpu");
     bm = std::make_unique<BufferManager>(sched, cfg, 0, *cpu, *storage,
                                          metrics);
@@ -202,15 +201,14 @@ TEST(BufferManager, GemResidentPartitionReadsAreSynchronousAndFast) {
   Fixture f;
   f.cfg.partitions[DebitCreditIds::kBranchTeller].storage = StorageKind::Gem;
   // Rebuild the storage routing with the new allocation.
-  f.storage = std::make_unique<storage::StorageManager>(f.sched, f.rng, f.cfg,
-                                                        f.gem);
+  f.storage = std::make_unique<storage::StorageManager>(f.sched, f.rng, f.cfg);
   f.bm = std::make_unique<BufferManager>(f.sched, f.cfg, 0, *f.cpu, *f.storage,
                                          f.metrics);
   Txn t;
   f.sched.spawn(read_task(*f.bm, &t, bt(1), 1));
   f.sched.run_all();
   EXPECT_LT(t.t_io, 1e-3);  // 300 instr + 50 us, far below any disk time
-  EXPECT_EQ(f.gem.page_ops(), 1u);
+  EXPECT_EQ(f.storage->gem().page_ops(), 1u);
 }
 
 }  // namespace

@@ -14,7 +14,6 @@ struct Fixture {
   SystemConfig cfg = make_debit_credit_config();
   sim::Scheduler sched;
   sim::Rng rng{1};
-  storage::GemDevice gem{sched, cfg.gem};
   std::unique_ptr<storage::StorageManager> storage;
   std::unique_ptr<CpuSet> cpu;
   std::unique_ptr<LogManager> log;
@@ -24,7 +23,7 @@ struct Fixture {
     cfg.log_group_commit = group;
     cfg.log_group_max = max;
     cfg.log_group_window = window;
-    storage = std::make_unique<storage::StorageManager>(sched, rng, cfg, gem);
+    storage = std::make_unique<storage::StorageManager>(sched, rng, cfg);
     cpu = std::make_unique<CpuSet>(sched, cfg.cpu, "cpu");
     log = std::make_unique<LogManager>(sched, cfg, 0, *cpu, *storage);
   }

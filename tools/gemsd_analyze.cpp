@@ -35,6 +35,12 @@
 //       steady-state gate. --csv=FILE also writes one row per window for
 //       plotting.
 //
+//   gemsd_analyze --memory-budget=BYTES <results.json>
+//       Memory gate over a "gemsd.results.v1" document's memory block
+//       (written by every bench): peak_rss_bytes above the budget exits 1 —
+//       the CI scale-out footprint gate. A document without a usable memory
+//       reading (pre-memory results, non-Linux writer) exits 2.
+//
 //   gemsd_analyze --engine-profile <engprof.json> [--top=K]
 //       Engine parallelism report from a "gemsd.engprof.v1" document
 //       (written by --engine-profile on any bench or gemsd_run): top
@@ -84,7 +90,8 @@ int usage() {
       "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
       "                     [--tolerance=T]\n"
       "       gemsd_analyze --engine-profile <engprof.json> [--top=K]\n"
-      "       gemsd_analyze --timeseries <timeseries.json> [--csv=FILE]\n");
+      "       gemsd_analyze --timeseries <timeseries.json> [--csv=FILE]\n"
+      "       gemsd_analyze --memory-budget=BYTES <results.json>\n");
   return 2;
 }
 
@@ -104,6 +111,34 @@ int run_compare(const std::string& base_path, const std::string& cand_path,
   return rep.regressions > 0 ? 1 : 0;
 }
 
+int run_memory_budget(const std::string& results_path, double budget_bytes) {
+  gemsd::obs::JsonValue doc;
+  if (!load_json(results_path, doc)) return 2;
+  const gemsd::obs::JsonValue* mem = doc.find("memory");
+  const gemsd::obs::JsonValue* peak =
+      mem ? mem->find("peak_rss_bytes") : nullptr;
+  if (!peak || !peak->is_number() || peak->num <= 0.0) {
+    std::fprintf(stderr,
+                 "error: %s has no usable memory.peak_rss_bytes (results "
+                 "written before the memory block, or on a platform without "
+                 "RSS reporting)\n",
+                 results_path.c_str());
+    return 2;
+  }
+  const double used = peak->num;
+  std::printf("memory budget: peak RSS %.1f MiB of %.1f MiB budget (%.1f%%)\n",
+              used / (1024.0 * 1024.0), budget_bytes / (1024.0 * 1024.0),
+              100.0 * used / budget_bytes);
+  if (used > budget_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS %.0f bytes exceeds the budget of %.0f "
+                 "bytes\n",
+                 used, budget_bytes);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +150,7 @@ int main(int argc, char** argv) {
   bool critpath = false;
   bool engprof = false;
   bool timeseries = false;
+  double memory_budget = 0.0;  // > 0: --memory-budget mode
   std::string critpath_file;
   std::string csv_file;
   int run_index = 0;
@@ -129,6 +165,12 @@ int main(int argc, char** argv) {
       engprof = true;
     } else if (std::strcmp(a, "--timeseries") == 0) {
       timeseries = true;
+    } else if (std::strncmp(a, "--memory-budget=", 16) == 0) {
+      memory_budget = std::atof(a + 16);
+      if (memory_budget <= 0.0) {
+        std::fprintf(stderr, "error: bad --memory-budget value\n");
+        return usage();
+      }
     } else if (std::strncmp(a, "--csv=", 6) == 0) {
       csv_file = a + 6;
     } else if (std::strcmp(a, "--critical-path") == 0) {
@@ -164,6 +206,7 @@ int main(int argc, char** argv) {
                        tolerance < 0.0 ? 0.05 : tolerance);
   }
   if (trace_path.empty()) return usage();
+  if (memory_budget > 0.0) return run_memory_budget(trace_path, memory_budget);
   if (tolerance < 0.0) tolerance = 0.01;
 
   if (timeseries) {
