@@ -178,6 +178,11 @@ struct SystemConfig {
     bool timeseries = false;
     double timeseries_window = 0.5;   ///< window width in simulated seconds
     std::size_t timeseries_cap = 512; ///< max windows before coarsening
+    /// Per-resource queueing snapshot (obs/resources.hpp): exports the
+    /// gemsd.resources.v1 document and records per-station wait sketches.
+    /// Pure observation — no scheduler events, metrics byte-identical
+    /// on/off at any engine kind and worker count.
+    bool resources = false;
   } obs;
 
   /// Failure/recovery model (Section 1-2 motivate availability; GEM's

@@ -11,6 +11,7 @@
 #include "obs/fingerprint.hpp"
 #include "obs/json.hpp"
 #include "obs/memory.hpp"
+#include "obs/resources.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -179,6 +180,11 @@ std::string try_parse_bench_args(const std::vector<std::string>& args,
     } else if (value_of(a, "--timeseries-window", v)) {
       o.timeseries = true;
       num_ok = to_double(v, o.timeseries_window) && o.timeseries_window > 0;
+    } else if (a == "--resources") {
+      o.resources = true;
+    } else if (value_of(a, "--resources", v)) {
+      o.resources = true;
+      o.resources_file = v;
     } else if (value_of(a, "--engine", v)) {
       if (v == "sequential") {
         o.engine = sim::EngineKind::Sequential;
@@ -238,7 +244,11 @@ std::string bench_usage() {
       "                     (gemsd.timeseries.v1 JSON; default\n"
       "                     results/TIMESERIES_<bench>.json)\n"
       "  --timeseries-window=S  window width [sim s] (default 0.5; doubles\n"
-      "                     when the window cap is hit)\n";
+      "                     when the window cap is hit)\n"
+      "  --resources[=F]    per-resource operational snapshot of the\n"
+      "                     --trace-run point (gemsd.resources.v1 JSON;\n"
+      "                     default results/RESOURCES_<bench>.json; analyze\n"
+      "                     with gemsd_analyze --bottleneck)\n";
 }
 
 BenchOptions parse_bench_args(int argc, char** argv) {
@@ -284,6 +294,10 @@ void apply_obs_options(std::vector<SystemConfig>& cfgs,
     if (opt.timeseries && i == picked) {
       obs.timeseries = true;
       obs.timeseries_window = opt.timeseries_window;
+    }
+    // And the resource snapshot.
+    if (opt.resources && i == picked) {
+      obs.resources = true;
     }
   }
 }
@@ -372,6 +386,21 @@ void write_metrics_object(obs::JsonWriter& w, const RunResult& r,
   pct("cc_ms", r.pct_cc);
   pct("queue_ms", r.pct_queue);
   w.end_object();
+  // Additive v1 extension: per-GEM-shard rows (one row when gem_shards=1).
+  // --compare gates these whenever both documents carry the block, so a
+  // sharding regression in any single shard fails the comparison even when
+  // the aggregate gem_util happens to average out.
+  w.key("gem_shards");
+  w.begin_array();
+  for (const auto& gs : r.gem_shards) {
+    w.begin_object();
+    w.kv("util", gs.util);
+    w.kv("queue_mean", gs.queue_mean);
+    w.kv("wait_ms", gs.wait_ms);
+    w.kv("completions", static_cast<std::uint64_t>(gs.completions));
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
 }
 
@@ -619,6 +648,40 @@ std::string write_timeseries_file(const std::string& bench,
              : "";
 }
 
+std::string write_resources_file(const std::string& bench,
+                                 const BenchOptions& opt,
+                                 const std::vector<BenchRun>& runs) {
+  if (!opt.resources || runs.empty()) return "";
+  const std::size_t idx =
+      static_cast<std::size_t>(opt.trace_run < 0 ? 0 : opt.trace_run) %
+      runs.size();
+  const BenchRun& run = runs[idx];
+  const auto* tel = run.result.telemetry.get();
+  if (!tel || !tel->resources) {
+    std::fprintf(stderr,
+                 "warning: --resources given but run %zu has no "
+                 "resource snapshot\n",
+                 idx);
+    return "";
+  }
+  obs::JsonWriter git, seed, hash;
+  git.value(obs::build_git_describe());
+  seed.value(static_cast<std::uint64_t>(run.config.seed));
+  hash.value(obs::config_hash_hex(run.config));
+  const std::vector<std::pair<std::string, std::string>> metadata = {
+      {"git", git.take()},
+      {"seed", seed.take()},
+      {"config_hash", hash.take()},
+  };
+  const std::string path = opt.resources_file.empty()
+                               ? "results/RESOURCES_" + bench + ".json"
+                               : opt.resources_file;
+  return write_text_file(path,
+                         obs::resources_json(*tel->resources, metadata))
+             ? path
+             : "";
+}
+
 std::string fingerprint_line(const std::string& bench,
                              const SystemConfig& cfg) {
   std::string s = bench;
@@ -640,6 +703,7 @@ void finish_bench(const std::string& bench, const std::string& caption,
   const std::string trace_path = write_trace_file(opt, bruns);
   const auto engprof_paths = write_engprof_files(bench, opt, bruns);
   const std::string ts_path = write_timeseries_file(bench, opt, bruns);
+  const std::string res_path = write_resources_file(bench, opt, bruns);
   const SystemConfig stamp_cfg = cfgs.empty() ? SystemConfig{} : cfgs.front();
   if (opt.csv) {
     std::printf("# %s\n", fingerprint_line(bench, stamp_cfg).c_str());
@@ -657,6 +721,9 @@ void finish_bench(const std::string& bench, const std::string& caption,
     }
     if (!ts_path.empty()) {
       std::printf("timeseries: %s\n", ts_path.c_str());
+    }
+    if (!res_path.empty()) {
+      std::printf("resources: %s\n", res_path.c_str());
     }
   }
 }

@@ -53,6 +53,9 @@ RunResult run_trace(const SystemConfig& cfg, const workload::Trace& trace);
 ///                      gemsd_analyze --timeseries)
 ///   --timeseries-window=S  window width [sim s] (default 0.5; width doubles
 ///                      when the 512-window cap is hit)
+///   --resources[=F]    per-resource operational snapshot of the --trace-run
+///                      sweep point (gemsd.resources.v1 JSON; analyze with
+///                      gemsd_analyze --bottleneck)
 struct BenchOptions {
   /// Warm-up default: 5 s simulated, the SystemConfig::warmup default.
   /// --quick overrides to 2 s (measure 6 s); later flags win, so
@@ -85,6 +88,10 @@ struct BenchOptions {
   bool timeseries = false;
   std::string timeseries_file;       ///< "" = results/TIMESERIES_<bench>.json
   double timeseries_window = 0.5;    ///< window width [sim s]
+  /// Per-resource operational snapshot (obs/resources.hpp) of the --trace-run
+  /// sweep point. Pure observation — metrics are byte-identical on/off.
+  bool resources = false;
+  std::string resources_file;        ///< "" = results/RESOURCES_<bench>.json
   /// Event-kernel backend (sim/engine.hpp). Pure execution policy: results
   /// are identical for both kinds and any worker count.
   sim::EngineKind engine = sim::EngineKind::Sequential;
@@ -161,6 +168,13 @@ std::pair<std::string, std::string> write_engprof_files(
 std::string write_timeseries_file(const std::string& bench,
                                   const BenchOptions& opt,
                                   const std::vector<BenchRun>& runs);
+
+/// Write the resource snapshot of the recorded sweep point when --resources
+/// was given: the gemsd.resources.v1 document. Returns the path written, or
+/// "" when off or nothing was recorded.
+std::string write_resources_file(const std::string& bench,
+                                 const BenchOptions& opt,
+                                 const std::vector<BenchRun>& runs);
 
 /// One-line config fingerprint for human-readable report headers:
 /// "bench git=<describe> seed=<seed> config=<hash>".

@@ -70,6 +70,18 @@ struct RunResult {
   };
   Percentiles pct_resp, pct_cpu, pct_cpu_wait, pct_io, pct_cc, pct_queue;
 
+  /// Per-GEM-shard station stats (index = shard). Always populated (size =
+  /// gem_shards, >= 1); exported as the "gem_shards" array of
+  /// gemsd.results.v1 and tolerance-gated by gemsd_analyze --compare when
+  /// both documents carry it.
+  struct GemShardStat {
+    double util = 0;
+    double queue_mean = 0;
+    double wait_ms = 0;  ///< mean wait per access
+    std::uint64_t completions = 0;
+  };
+  std::vector<GemShardStat> gem_shards;
+
   /// Full observability payload (detail metrics, sampler time series,
   /// slow-transaction log, trace events). Shared so results stay cheap to
   /// copy through sweeps; null unless System::collect() produced one.

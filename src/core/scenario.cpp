@@ -283,6 +283,7 @@ void emit_scenario(const Scenario& sc, const BenchOptions& opt,
   const std::string trace_path = write_trace_file(jopt, res.runs);
   const auto engprof_paths = write_engprof_files(sc.name, jopt, res.runs);
   const std::string ts_path = write_timeseries_file(sc.name, jopt, res.runs);
+  const std::string res_path = write_resources_file(sc.name, jopt, res.runs);
 
   if (!opt.csv && plan.trace) {
     const auto stats = workload::compute_stats(*plan.trace);
@@ -332,6 +333,9 @@ void emit_scenario(const Scenario& sc, const BenchOptions& opt,
   }
   if (!ts_path.empty()) {
     std::printf("timeseries: %s\n", ts_path.c_str());
+  }
+  if (!res_path.empty()) {
+    std::printf("resources: %s\n", res_path.c_str());
   }
   if (sc.post) sc.post(res, opt);
   if (!sc.note.empty()) std::printf("\n%s\n", sc.note.c_str());

@@ -10,6 +10,7 @@
 #include "cc/primary_copy_protocol.hpp"
 #include "obs/engprof.hpp"
 #include "obs/memory.hpp"
+#include "obs/resources.hpp"
 #include "obs/timeseries.hpp"
 #include "workload/debit_credit.hpp"
 
@@ -97,12 +98,26 @@ System::System(const SystemConfig& cfg, Workload wl)
           disk += g->arms().busy_time();
         }
       }
+      double log_busy = 0;
       for (int n = 0; n < cfg_.nodes; ++n) {
         if (const auto* g = storage_->log_group_if_built(n)) {
-          disk += g->arms().busy_time();
+          log_busy += g->arms().busy_time();
         }
       }
-      c.disk_busy_s = disk;
+      c.disk_busy_s = disk + log_busy;
+      // Tracked stations, same order as set_stations below: GEM shards,
+      // network, disk partition arms, log aggregate.
+      c.station_busy_s.clear();
+      for (int s = 0; s < storage_->gem_shards(); ++s) {
+        c.station_busy_s.push_back(storage_->gem(s).server().busy_time());
+      }
+      c.station_busy_s.push_back(network_->link().busy_time());
+      for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+        if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+          c.station_busy_s.push_back(g->arms().busy_time());
+        }
+      }
+      c.station_busy_s.push_back(log_busy);
     });
     double disk_arms = 0;
     for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
@@ -121,6 +136,33 @@ System::System(const SystemConfig& cfg, Workload wl)
         static_cast<double>(cfg_.nodes) * cfg_.cpu.processors,
         gem_servers,
         static_cast<double>(network_->link().capacity()), disk_arms);
+    // Per-station series (bounded: shards + partitions + 2, never per-node):
+    // the per-window utilization of each station is what shows a bottleneck
+    // migrating — e.g. network vs GEM under scale_out's diurnal curve.
+    {
+      std::vector<obs::TsStation> stations;
+      for (int s = 0; s < storage_->gem_shards(); ++s) {
+        obs::TsStation st;
+        st.name = storage_->gem_shards() == 1 ? "gem"
+                                              : "gem.shard" + std::to_string(s);
+        st.capacity =
+            static_cast<double>(storage_->gem(s).server().capacity());
+        stations.push_back(std::move(st));
+      }
+      stations.push_back(obs::TsStation{
+          "net", static_cast<double>(network_->link().capacity())});
+      for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+        if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+          stations.push_back(obs::TsStation{
+              "disk." + cfg_.partitions[p].name,
+              static_cast<double>(g->arms().capacity())});
+        }
+      }
+      stations.push_back(obs::TsStation{
+          "log", static_cast<double>(cfg_.nodes) *
+                     std::max(cfg_.log_disks_per_node, 1)});
+      ts_->set_stations(std::move(stations));
+    }
   }
   if (cfg_.obs.progress_every_s > 0.0) {
     // Check the wall clock every few thousand events (one predictable branch
@@ -168,6 +210,31 @@ System::System(const SystemConfig& cfg, Workload wl)
         *logs_[static_cast<std::size_t>(n)], *protocol_, metrics_));
   }
   node_up_.assign(static_cast<std::size_t>(cfg_.nodes), true);
+
+  if (cfg_.obs.resources) {
+    // Wait-sketch recording: the recorder owns per-station bucket vectors
+    // registered with each sim::Resource. Installed after every station
+    // exists; lazily built log groups attach through the storage hook the
+    // moment they are constructed. Costs one branch per acquisition and
+    // inserts no scheduler events, so metrics stay byte-identical on/off.
+    resrec_ = std::make_unique<obs::ResourceRecorder>();
+    for (auto& c : cpus_) resrec_->attach(c->resource());
+    for (auto& tm : tms_) resrec_->attach(tm->mpl_pool());
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      resrec_->attach(storage_->gem(s).server());
+    }
+    resrec_->attach(network_->link());
+    for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+      if (auto* g = storage_->group(static_cast<PartitionId>(p))) {
+        resrec_->attach(g->arms());
+        resrec_->attach(g->controllers());
+      }
+    }
+    storage_->set_group_built_hook([this](storage::DiskGroup& g) {
+      resrec_->attach(g.arms());
+      resrec_->attach(g.controllers());
+    });
+  }
 }
 
 System::~System() = default;
@@ -405,7 +472,12 @@ void System::reset_stats() {
   comm_->reset_stats();
   storage_->reset_stats();
   for (auto& c : cpus_) c->reset_stats();
+  // MPL admission pools are stations too: without this their queue integrals
+  // span warm-up and the operational-law auditors could never reconcile them
+  // against the measurement horizon.
+  for (auto& tm : tms_) tm->reset_stats();
   protocol_->table().reset_stats();
+  if (resrec_) resrec_->reset();
   stats_start_ = sched_.now();
   stats_reset_ = true;
   // Warm-up events are discarded like warm-up statistics; the sampler's time
@@ -475,6 +547,18 @@ RunResult System::collect() const {
       g += storage_->gem(s).utilization();
     }
     r.gem_util = g / static_cast<double>(storage_->gem_shards());
+  }
+  // Per-shard GEM rows (always populated; one row when gem_shards=1). These
+  // are first-class results — `gemsd_analyze --compare` gates them whenever
+  // both documents carry the block.
+  for (int s = 0; s < storage_->gem_shards(); ++s) {
+    const auto& dev = storage_->gem(s);
+    RunResult::GemShardStat gs;
+    gs.util = dev.utilization();
+    gs.queue_mean = dev.server().mean_queue_length();
+    gs.wait_ms = dev.server().wait_stat().mean() * 1e3;
+    gs.completions = dev.server().completions();
+    r.gem_shards.push_back(gs);
   }
   r.net_util = network_->utilization();
   r.tps_per_node_at_80 =
@@ -712,8 +796,110 @@ RunResult System::collect() const {
     tel->timeseries =
         std::make_shared<const obs::TsSeries>(ts_->snapshot(sched_.now()));
   }
+  if (cfg_.obs.resources || audit_) {
+    auto set = resource_snapshot();
+    if (audit_) {
+      // Operational-law auditors: on a complete horizon every station must
+      // reconcile against Little's law, the utilization law and flow balance;
+      // busy ≤ capacity·horizon is a hard invariant. Fail fast with the
+      // offending resource and cursor.
+      for (const auto& v : obs::check_resource_laws(set)) {
+        audit_->check(false, "resource_laws", sched_.now(), 0, -1, "%s: %s",
+                      v.resource.c_str(), v.what.c_str());
+      }
+    }
+    if (cfg_.obs.resources) {
+      tel->resources =
+          std::make_shared<const obs::ResourceSet>(std::move(set));
+    }
+  }
   r.telemetry = std::move(tel);
   return r;
+}
+
+obs::ResourceSet System::resource_snapshot() const {
+  obs::ResourceSet set;
+  set.stats_start = stats_start_;
+  set.end = sched_.now();
+  set.commits = metrics_.commits.value();
+  const double horizon = set.horizon();
+  set.throughput =
+      horizon > 0 ? static_cast<double>(set.commits) / horizon : 0.0;
+  if (resrec_) set.layout = resrec_->layout();
+
+  const auto buckets = [&](const sim::Resource& res) {
+    return resrec_ ? resrec_->buckets_for(res) : nullptr;
+  };
+  auto station = [&](const sim::Resource& res, std::string name,
+                     std::string kind, int node) {
+    set.rows.push_back(obs::resource_row(res, std::move(name), std::move(kind),
+                                         node, horizon, set.commits,
+                                         buckets(res)));
+  };
+
+  for (std::size_t n = 0; n < cpus_.size(); ++n) {
+    station(cpus_[n]->resource(), "cpu.node" + std::to_string(n), "cpu",
+            static_cast<int>(n));
+  }
+  for (std::size_t n = 0; n < tms_.size(); ++n) {
+    station(tms_[n]->mpl(), "mpl.node" + std::to_string(n), "mpl",
+            static_cast<int>(n));
+  }
+  if (storage_->gem_shards() == 1) {
+    station(storage_->gem().server(), "gem", "gem", -1);
+  } else {
+    for (int s = 0; s < storage_->gem_shards(); ++s) {
+      station(storage_->gem(s).server(), "gem.shard" + std::to_string(s),
+              "gem", -1);
+    }
+  }
+  station(network_->link(), "net", "net", -1);
+  for (std::size_t p = 0; p < cfg_.partitions.size(); ++p) {
+    if (const auto* g = storage_->group(static_cast<PartitionId>(p))) {
+      const std::string pre = "disk." + cfg_.partitions[p].name;
+      station(g->arms(), pre + ".arms", "disk", -1);
+      station(g->controllers(), pre + ".controllers", "disk", -1);
+    }
+  }
+  for (std::size_t n = 0; n < static_cast<std::size_t>(cfg_.nodes); ++n) {
+    const std::string pre = "log.node" + std::to_string(n);
+    if (const auto* g =
+            storage_->log_group_if_built(static_cast<NodeId>(n))) {
+      station(g->arms(), pre + ".arms", "log", static_cast<int>(n));
+    } else {
+      // Never built (GEM-resident log / idle node): an all-zero row with the
+      // capacity an eagerly built group would have had, so the station list
+      // is identical either way.
+      obs::ResourceRow row;
+      row.name = pre + ".arms";
+      row.kind = "log";
+      row.node = static_cast<int>(n);
+      row.capacity = std::max(cfg_.log_disks_per_node, 1);
+      obs::derive_resource_row(row, horizon, set.commits);
+      set.rows.push_back(std::move(row));
+    }
+  }
+  {
+    // The lock-table wait queue is a pure delay station (capacity 0): every
+    // granted-after-wait lock request is an arrival and a completion, and the
+    // queue integral equals the summed wait time by construction, so Little's
+    // identity is exact here too. Derived server laws don't apply.
+    obs::ResourceRow row;
+    row.name = "lock";
+    row.kind = "lock";
+    row.capacity = 0;
+    const auto& w = metrics_.lock_wait_time;
+    row.arrivals = metrics_.lock_waits.value();
+    row.completions = row.arrivals;
+    row.waited_s = w.sum();
+    row.queue_integral_s = w.sum();
+    row.wait.count = w.count();
+    row.wait.sum_s = w.sum();
+    row.wait_max_s = w.count() ? w.max() : 0.0;
+    obs::derive_resource_row(row, horizon, set.commits);
+    set.rows.push_back(std::move(row));
+  }
+  return set;
 }
 
 System::Workload make_debit_credit_workload(const SystemConfig& cfg) {

@@ -28,6 +28,8 @@
 namespace gemsd::obs {
 class EngProfiler;
 class TimeSeriesRecorder;
+class ResourceRecorder;
+struct ResourceSet;
 }
 
 namespace gemsd {
@@ -84,6 +86,13 @@ class System {
   obs::Auditor* auditor() { return audit_.get(); }
   obs::EngProfiler* engine_profiler() { return engprof_.get(); }
   obs::TimeSeriesRecorder* timeseries() { return ts_.get(); }
+  obs::ResourceRecorder* resource_recorder() { return resrec_.get(); }
+
+  /// Per-station operational snapshot over the current measurement horizon
+  /// (obs/resources.hpp). Always available — the counters it reads are
+  /// maintained unconditionally; with cfg.obs.resources the rows also carry
+  /// the recorded wait sketches. Pure observation.
+  obs::ResourceSet resource_snapshot() const;
 
   /// Inject one transaction directly (tests).
   void submit(NodeId node, workload::TxnSpec spec) {
@@ -138,6 +147,7 @@ class System {
   std::unique_ptr<obs::Auditor> audit_;
   std::unique_ptr<obs::EngProfiler> engprof_;
   std::unique_ptr<obs::TimeSeriesRecorder> ts_;
+  std::unique_ptr<obs::ResourceRecorder> resrec_;
   obs::SlowTxnLog slow_log_;
   std::vector<obs::Sample> samples_;
   sim::SimTime stats_start_ = 0;

@@ -23,6 +23,8 @@ class Network {
 
   double utilization() const { return link_.utilization(); }
   const sim::Resource& link() const { return link_; }
+  /// Mutable station (observability wiring: wait-sketch attachment).
+  sim::Resource& link() { return link_; }
   std::uint64_t short_count() const { return short_msgs_.value(); }
   std::uint64_t long_count() const { return long_msgs_.value(); }
   void reset_stats() {

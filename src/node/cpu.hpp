@@ -47,6 +47,8 @@ class CpuSet {
   void reset_stats() { procs_.reset_stats(); }
   int processors() const { return cfg_.processors; }
   const sim::Resource& resource() const { return procs_; }
+  /// Mutable station (observability wiring: wait-sketch attachment).
+  sim::Resource& resource() { return procs_; }
 
  private:
   sim::Scheduler& sched_;

@@ -39,6 +39,13 @@ class TransactionManager {
   int active() const { return active_; }
   std::uint64_t submitted() const { return submitted_; }
   const sim::Resource& mpl() const { return mpl_; }
+  /// Mutable MPL pool (observability wiring: wait-sketch attachment).
+  sim::Resource& mpl_pool() { return mpl_; }
+
+  /// Reset the MPL station's statistics at warm-up end, like every other
+  /// queueing station; without this the slot pool's integrals span warm-up
+  /// and the operational laws cannot reconcile on the measurement horizon.
+  void reset_stats() { mpl_.reset_stats(); }
 
   /// Node crash / restart: while failed, in-flight transactions are killed
   /// at their next step (their locks are released) and count as lost.

@@ -503,9 +503,32 @@ CompareReport compare_results(const JsonValue& baseline,
     d.tput_regressed = d.base_tput - d.cand_tput > tput_band && tput_band > 0.0;
     d.tput_improved = d.cand_tput - d.base_tput > tput_band && tput_band > 0.0;
 
-    if (d.resp_regressed || d.tput_regressed) ++rep.regressions;
+    // Per-shard gating (additive "gem_shards" block): only when both
+    // documents carry it with the same shard count — older baselines stay
+    // comparable. A shard whose utilization or mean queue length grew beyond
+    // the relative band regresses the pair even when the aggregate gem_util
+    // averages out across shards.
+    const JsonValue* sb = mb.find("gem_shards");
+    const JsonValue* sc = mc.find("gem_shards");
+    if (sb && sc && sb->is_array() && sc->is_array() &&
+        sb->arr.size() == sc->arr.size()) {
+      for (std::size_t i = 0; i < sb->arr.size(); ++i) {
+        const double ub = num_or(sb->arr[i].find("util"), 0.0);
+        const double uc = num_or(sc->arr[i].find("util"), 0.0);
+        const double qb = num_or(sb->arr[i].find("queue_mean"), 0.0);
+        const double qc = num_or(sc->arr[i].find("queue_mean"), 0.0);
+        if ((uc - ub > tolerance * ub && ub > 0.0) ||
+            (qc - qb > tolerance * qb && qb > 0.0)) {
+          ++d.shard_regressions;
+        }
+      }
+    }
+
+    if (d.resp_regressed || d.tput_regressed || d.shard_regressions > 0) {
+      ++rep.regressions;
+    }
     if ((d.resp_improved || d.tput_improved) && !d.resp_regressed &&
-        !d.tput_regressed) {
+        !d.tput_regressed && d.shard_regressions == 0) {
       ++rep.improvements;
     }
     rep.deltas.push_back(d);
@@ -591,7 +614,7 @@ std::string format_compare(const CompareReport& r, double tolerance) {
   append(s, "compare: tolerance %.1f%% + batch-means CIs\n", tolerance * 1e2);
   for (const RunDelta& d : r.deltas) {
     const char* flag = "";
-    if (d.resp_regressed || d.tput_regressed) {
+    if (d.resp_regressed || d.tput_regressed || d.shard_regressions > 0) {
       flag = "  ** REGRESSION";
     } else if (d.resp_improved || d.tput_improved) {
       flag = "  improved";
@@ -609,6 +632,10 @@ std::string format_compare(const CompareReport& r, double tolerance) {
            d.key.c_str(), d.base_resp_ms, d.cand_resp_ms, resp_pct,
            d.base_ci_ms, d.cand_ci_ms, d.base_tput, d.cand_tput, tput_pct,
            flag);
+    if (d.shard_regressions > 0) {
+      append(s, "    %d GEM shard(s) over the band (util or queue_mean)\n",
+             d.shard_regressions);
+    }
   }
   for (const std::string& k : r.unmatched_base) {
     append(s, "  only in baseline: %s\n", k.c_str());

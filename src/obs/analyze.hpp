@@ -123,6 +123,12 @@ struct RunDelta {
   /// relative tolerance (throughput carries no CI in the results schema).
   bool tput_regressed = false;
   bool tput_improved = false;
+  /// Per-GEM-shard gating: when BOTH documents carry the (additive)
+  /// "gem_shards" block with the same shard count, each shard's utilization
+  /// and mean queue length are compared under the same relative band. A
+  /// single overloaded shard regresses the pair even when the aggregate
+  /// gem_util averages out. 0 when either document predates the block.
+  int shard_regressions = 0;
 };
 
 struct CompareReport {

@@ -1,0 +1,511 @@
+#include "obs/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "sim/resource.hpp"
+
+namespace gemsd::obs {
+
+int ResourceSet::find(const std::string& name) const {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void derive_resource_row(ResourceRow& row, double horizon,
+                         std::uint64_t commits) {
+  if (horizon > 0.0) {
+    row.queue_mean = row.queue_integral_s / horizon;
+    row.throughput = static_cast<double>(row.completions) / horizon;
+    row.utilization =
+        row.capacity > 0
+            ? row.busy_s / (static_cast<double>(row.capacity) * horizon)
+            : 0.0;
+  }
+  row.service_s = row.completions
+                      ? row.busy_s / static_cast<double>(row.completions)
+                      : 0.0;
+  row.demand_s =
+      commits ? row.busy_s / static_cast<double>(commits) : 0.0;
+  row.saturation_tps = row.demand_s > 0.0
+                           ? static_cast<double>(row.capacity) / row.demand_s
+                           : 0.0;
+}
+
+ResourceRow resource_row(const sim::Resource& r, std::string name,
+                         std::string kind, int node, double horizon,
+                         std::uint64_t commits,
+                         const std::vector<std::uint64_t>* buckets) {
+  ResourceRow row;
+  row.name = std::move(name);
+  row.kind = std::move(kind);
+  row.node = node;
+  row.capacity = r.capacity();
+  row.arrivals = r.arrivals();
+  row.completions = r.completions();
+  row.busy_s = r.busy_time();
+  row.queue_integral_s = r.queue_integral();
+  row.queue_mean = r.mean_queue_length();
+  row.queue_max = r.queue_max();
+  row.waited_s = r.waited_time();
+  row.pending_wait_s = r.pending_wait_time();
+  row.in_system_start = r.in_system_at_reset();
+  row.in_system_end = r.in_system();
+  const sim::MeanStat& ws = r.wait_stat();
+  row.wait.count = ws.count();
+  row.wait.sum_s = ws.sum();
+  row.wait_max_s = ws.max();
+  if (buckets) row.wait.buckets = *buckets;
+  derive_resource_row(row, horizon, commits);
+  return row;
+}
+
+// --- wait-sketch recorder ---------------------------------------------------
+
+ResourceRecorder::ResourceRecorder(sim::LogBuckets layout) : layout_(layout) {}
+ResourceRecorder::~ResourceRecorder() = default;
+
+void ResourceRecorder::attach(sim::Resource& r) {
+  for (const auto& [res, buckets] : store_) {
+    if (res == &r) return;
+  }
+  auto buckets = std::make_unique<std::vector<std::uint64_t>>(
+      static_cast<std::size_t>(layout_.size()), 0);
+  r.set_wait_buckets(&layout_, buckets.get());
+  store_.emplace_back(&r, std::move(buckets));
+}
+
+void ResourceRecorder::reset() {
+  for (auto& [res, buckets] : store_) {
+    std::fill(buckets->begin(), buckets->end(), 0);
+  }
+}
+
+const std::vector<std::uint64_t>* ResourceRecorder::buckets_for(
+    const sim::Resource& r) const {
+  for (const auto& [res, buckets] : store_) {
+    if (res == &r) return buckets.get();
+  }
+  return nullptr;
+}
+
+// --- operational-law reconciliation ----------------------------------------
+
+namespace {
+
+std::string strf(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<LawViolation> check_resource_laws(const ResourceSet& s,
+                                              double tol) {
+  std::vector<LawViolation> out;
+  const double h = s.horizon();
+  auto close = [&](double a, double b) {
+    return std::abs(a - b) <=
+           tol * std::max({1.0, std::abs(a), std::abs(b)});
+  };
+  auto flag = [&](const ResourceRow& r, std::string what) {
+    out.push_back(LawViolation{r.name, std::move(what)});
+  };
+  for (const ResourceRow& r : s.rows) {
+    // Flow balance is exact on the integer counters.
+    const std::int64_t flow = static_cast<std::int64_t>(r.arrivals) -
+                              static_cast<std::int64_t>(r.completions);
+    const std::int64_t in_system =
+        static_cast<std::int64_t>(r.in_system_end) -
+        static_cast<std::int64_t>(r.in_system_start);
+    if (flow != in_system) {
+      flag(r, strf("flow balance: arrivals-completions=%lld but "
+                   "in_system delta=%lld",
+                   static_cast<long long>(flow),
+                   static_cast<long long>(in_system)));
+    }
+    // Little's law as an identity on the time-integrals.
+    if (!close(r.queue_integral_s, r.waited_s + r.pending_wait_s)) {
+      flag(r, strf("Little identity: queue_integral %.12g != waited %.12g + "
+                   "pending %.12g",
+                   r.queue_integral_s, r.waited_s, r.pending_wait_s));
+    }
+    if (h > 0.0 && !close(r.queue_mean, r.queue_integral_s / h)) {
+      flag(r, strf("queue_mean %.12g != queue_integral/horizon %.12g",
+                   r.queue_mean, r.queue_integral_s / h));
+    }
+    if (h > 0.0 &&
+        !close(r.throughput, static_cast<double>(r.completions) / h)) {
+      flag(r, strf("throughput %.12g != completions/horizon %.12g",
+                   r.throughput, static_cast<double>(r.completions) / h));
+    }
+    if (r.capacity > 0) {
+      // Hard invariant: a c-server station cannot accrue more than c·H busy
+      // server-seconds.
+      const double cap_h = static_cast<double>(r.capacity) * h;
+      if (r.busy_s > cap_h + tol * std::max(1.0, cap_h)) {
+        flag(r, strf("busy %.12g s exceeds capacity*horizon %.12g s",
+                     r.busy_s, cap_h));
+      }
+      // Utilization law: U = busy / (c·H), and by extension U = X_i·S_i.
+      if (h > 0.0 && !close(r.utilization, r.busy_s / cap_h)) {
+        flag(r, strf("utilization %.12g != busy/(capacity*horizon) %.12g",
+                     r.utilization, r.busy_s / cap_h));
+      }
+      if (r.completions &&
+          !close(r.service_s,
+                 r.busy_s / static_cast<double>(r.completions))) {
+        flag(r, strf("service %.12g != busy/completions %.12g", r.service_s,
+                     r.busy_s / static_cast<double>(r.completions)));
+      }
+      if (s.commits &&
+          !close(r.demand_s, r.busy_s / static_cast<double>(s.commits))) {
+        flag(r, strf("demand %.12g != busy/commits %.12g", r.demand_s,
+                     r.busy_s / static_cast<double>(s.commits)));
+      }
+    }
+  }
+  return out;
+}
+
+// --- bottleneck / capacity analysis ----------------------------------------
+
+BottleneckReport analyze_bottleneck(const ResourceSet& s) {
+  BottleneckReport rep;
+  rep.measured_x = s.throughput;
+  for (std::size_t i = 0; i < s.rows.size(); ++i) {
+    if (s.rows[i].capacity > 0) rep.ranking.push_back(static_cast<int>(i));
+  }
+  std::sort(rep.ranking.begin(), rep.ranking.end(), [&](int a, int b) {
+    if (s.rows[a].utilization != s.rows[b].utilization) {
+      return s.rows[a].utilization > s.rows[b].utilization;
+    }
+    return s.rows[a].name < s.rows[b].name;  // deterministic tie-break
+  });
+  for (int i : rep.ranking) {
+    if (s.rows[i].kind != "mpl") {
+      rep.bottleneck = i;
+      break;
+    }
+  }
+  for (int i : rep.ranking) {
+    if (s.rows[i].kind == "mpl" &&
+        (rep.bottleneck < 0 ||
+         s.rows[i].utilization >= s.rows[rep.bottleneck].utilization)) {
+      rep.admission_limited = i;
+      break;
+    }
+  }
+  // Asymptotic bound: X · D_i = U_i · c_i ≤ c_i for every station, so
+  // X_max = min_i c_i / D_i and measured ≤ bound on any consistent snapshot.
+  rep.x_max = std::numeric_limits<double>::infinity();
+  for (int i : rep.ranking) {
+    const ResourceRow& r = s.rows[i];
+    if (r.demand_s <= 0.0) continue;
+    const double cap = static_cast<double>(r.capacity) / r.demand_s;
+    if (cap < rep.x_max) {
+      rep.x_max = cap;
+      rep.x_max_station = i;
+    }
+  }
+  if (rep.x_max_station < 0) rep.x_max = 0.0;
+  rep.within_bound =
+      rep.x_max_station < 0 || rep.measured_x <= rep.x_max * (1.0 + 1e-9);
+
+  for (const double f : {1.5, 2.0}) {
+    BottleneckReport::WhatIf w;
+    w.factor = f;
+    for (int i : rep.ranking) {
+      if (f * s.rows[i].utilization >= 1.0 - 1e-9) w.saturated = true;
+    }
+    if (rep.bottleneck >= 0) {
+      w.bottleneck_util = f * s.rows[rep.bottleneck].utilization;
+    }
+    w.throughput = f * rep.measured_x;
+    if (rep.x_max_station >= 0 && w.throughput > rep.x_max) {
+      w.throughput = rep.x_max;
+    }
+    // Asymptotic residence projection: each service station behaves as an
+    // M/M/1-like server whose residence stretches by 1/(1-U) as utilization
+    // scales; MPL pools are admission control, not service demand.
+    for (int i : rep.ranking) {
+      const ResourceRow& r = s.rows[i];
+      if (r.kind == "mpl" || r.demand_s <= 0.0) continue;
+      const double u = std::min(f * r.utilization, 0.995);
+      w.resp_s += r.demand_s / (1.0 - u);
+    }
+    rep.whatifs.push_back(w);
+  }
+
+  if (rep.bottleneck >= 0) {
+    const ResourceRow& b = s.rows[rep.bottleneck];
+    for (const int k : {1, 2, 4, 8}) {
+      // Hash-splitting the bottleneck K ways sends λ/K to each of K clones:
+      // per-clone ρ = U/K, Lq per clone ρ²/(1−ρ), total K·Lq.
+      BottleneckReport::Split sp;
+      sp.ways = k;
+      sp.rho = b.utilization / static_cast<double>(k);
+      if (sp.rho < 1.0) {
+        sp.queue_total =
+            static_cast<double>(k) * sp.rho * sp.rho / (1.0 - sp.rho);
+        sp.wait_s = sp.rho * b.service_s / (1.0 - sp.rho);
+      } else {
+        sp.queue_total = std::numeric_limits<double>::infinity();
+        sp.wait_s = std::numeric_limits<double>::infinity();
+      }
+      rep.splits.push_back(sp);
+    }
+  }
+  return rep;
+}
+
+std::string format_bottleneck_report(const ResourceSet& s,
+                                     const BottleneckReport& r,
+                                     const std::vector<LawViolation>& laws) {
+  std::string out;
+  out += strf("operational analysis: horizon %.6g s, commits %llu, "
+              "X = %.6g /s\n",
+              s.horizon(), static_cast<unsigned long long>(s.commits),
+              s.throughput);
+  out += strf("%-24s %-5s %5s %8s %12s %12s %12s %12s\n", "station", "kind",
+              "cap", "util", "X_i/s", "S_i_us", "D_i_us", "sat_X/s");
+  const std::size_t shown = std::min<std::size_t>(r.ranking.size(), 16);
+  for (std::size_t j = 0; j < shown; ++j) {
+    const ResourceRow& row = s.rows[r.ranking[j]];
+    out += strf("%-24s %-5s %5d %8.4f %12.6g %12.6g %12.6g %12.6g\n",
+                row.name.c_str(), row.kind.c_str(), row.capacity,
+                row.utilization, row.throughput, row.service_s * 1e6,
+                row.demand_s * 1e6, row.saturation_tps);
+  }
+  if (r.ranking.size() > shown) {
+    out += strf("  ... %zu more stations\n", r.ranking.size() - shown);
+  }
+  if (r.bottleneck >= 0) {
+    const ResourceRow& b = s.rows[r.bottleneck];
+    out += strf("bottleneck: %s (kind %s, util %.4f, demand %.6g us, "
+                "saturates at %.6g commits/s)\n",
+                b.name.c_str(), b.kind.c_str(), b.utilization,
+                b.demand_s * 1e6, b.saturation_tps);
+  } else {
+    out += "bottleneck: none (no service station with load)\n";
+  }
+  if (r.admission_limited >= 0) {
+    const ResourceRow& m = s.rows[r.admission_limited];
+    out += strf("admission: %s slot pool at util %.4f — admission-limited "
+                "before hardware\n",
+                m.name.c_str(), m.utilization);
+  }
+  if (r.x_max_station >= 0) {
+    out += strf("throughput bound: X_max = %.6g /s at %s; measured %.6g /s "
+                "[%s]\n",
+                r.x_max, s.rows[r.x_max_station].name.c_str(), r.measured_x,
+                r.within_bound ? "OK: measured <= bound" : "VIOLATED");
+  }
+  for (const auto& w : r.whatifs) {
+    out += strf("what-if x%.1f arrivals: bottleneck util %.4f%s, "
+                "throughput %.6g /s, resp %.6g ms\n",
+                w.factor, w.bottleneck_util,
+                w.saturated ? " SATURATED" : "", w.throughput,
+                w.resp_s * 1e3);
+  }
+  if (r.bottleneck >= 0 && !r.splits.empty()) {
+    const ResourceRow& b = s.rows[r.bottleneck];
+    out += strf("splitting %s (M/M/1 projection, service %.6g us):\n",
+                b.name.c_str(), b.service_s * 1e6);
+    for (const auto& sp : r.splits) {
+      out += strf("  K=%d: rho %.4f, total queue %.4g, wait %.6g us\n",
+                  sp.ways, sp.rho, sp.queue_total, sp.wait_s * 1e6);
+    }
+  }
+  if (laws.empty()) {
+    out += strf("laws: all %zu stations reconcile (Little, utilization, "
+                "flow balance)\n",
+                s.rows.size());
+  } else {
+    for (const auto& v : laws) {
+      out += strf("LAW VIOLATION %s: %s\n", v.resource.c_str(),
+                  v.what.c_str());
+    }
+  }
+  return out;
+}
+
+// --- JSON export / import ---------------------------------------------------
+
+std::string resources_json(
+    const ResourceSet& s,
+    const std::vector<std::pair<std::string, std::string>>& metadata) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "gemsd.resources.v1");
+  for (const auto& [key, raw] : metadata) {
+    w.key(key);
+    w.raw(raw);
+  }
+  w.kv("stats_start_s", s.stats_start);
+  w.kv("end_s", s.end);
+  w.kv("commits", s.commits);
+  w.kv("throughput", s.throughput);
+  w.key("sketch");
+  w.begin_object();
+  w.kv("lo_s", s.layout.lo());
+  w.kv("hi_s", s.layout.hi());
+  w.kv("bins", static_cast<std::int64_t>(s.layout.bins()));
+  w.end_object();
+  w.key("resources");
+  w.begin_array();
+  for (const ResourceRow& r : s.rows) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("kind", r.kind);
+    w.kv("node", static_cast<std::int64_t>(r.node));
+    w.kv("capacity", static_cast<std::int64_t>(r.capacity));
+    w.kv("arrivals", r.arrivals);
+    w.kv("completions", r.completions);
+    w.kv("busy_s", r.busy_s);
+    w.kv("queue_integral_s", r.queue_integral_s);
+    w.kv("queue_mean", r.queue_mean);
+    w.kv("queue_max", r.queue_max);
+    w.kv("waited_s", r.waited_s);
+    w.kv("pending_wait_s", r.pending_wait_s);
+    w.kv("in_system_start", r.in_system_start);
+    w.kv("in_system_end", r.in_system_end);
+    w.key("wait");
+    w.begin_object();
+    w.kv("count", r.wait.count);
+    w.kv("sum_s", r.wait.sum_s);
+    w.kv("max_s", r.wait_max_s);
+    // Sparse [index, count] pairs, like the time-series response sketches.
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t b = 0; b < r.wait.buckets.size(); ++b) {
+      if (r.wait.buckets[b] == 0) continue;
+      w.begin_array();
+      w.value(static_cast<std::uint64_t>(b));
+      w.value(static_cast<std::uint64_t>(r.wait.buckets[b]));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    w.kv("utilization", r.utilization);
+    w.kv("throughput", r.throughput);
+    w.kv("service_s", r.service_s);
+    w.kv("demand_s", r.demand_s);
+    w.kv("saturation_tps", r.saturation_tps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+double num_at(const JsonValue& v, const char* key, double dflt = 0.0) {
+  const JsonValue* f = v.find(key);
+  return f && f->is_number() ? f->num : dflt;
+}
+
+std::uint64_t u64_at(const JsonValue& v, const char* key) {
+  return static_cast<std::uint64_t>(num_at(v, key));
+}
+
+std::string str_at(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  return f && f->is_string() ? f->str : std::string();
+}
+
+}  // namespace
+
+bool resources_from_json(const JsonValue& doc, ResourceSet& out,
+                         std::string& error) {
+  if (!doc.is_object()) {
+    error = "not a JSON object";
+    return false;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->str != "gemsd.resources.v1") {
+    error = "not a gemsd.resources.v1 document";
+    return false;
+  }
+  out = ResourceSet{};
+  out.stats_start = num_at(doc, "stats_start_s");
+  out.end = num_at(doc, "end_s");
+  out.commits = u64_at(doc, "commits");
+  out.throughput = num_at(doc, "throughput");
+  if (const JsonValue* sk = doc.find("sketch")) {
+    out.layout = sim::LogBuckets(num_at(*sk, "lo_s", 1e-6),
+                                 num_at(*sk, "hi_s", 100.0),
+                                 static_cast<int>(num_at(*sk, "bins", 160)));
+  }
+  const JsonValue* rows = doc.find("resources");
+  if (!rows || !rows->is_array()) {
+    error = "missing resources array";
+    return false;
+  }
+  for (const JsonValue& jr : rows->arr) {
+    if (!jr.is_object()) {
+      error = "resource row is not an object";
+      return false;
+    }
+    ResourceRow r;
+    r.name = str_at(jr, "name");
+    r.kind = str_at(jr, "kind");
+    r.node = static_cast<int>(num_at(jr, "node", -1));
+    r.capacity = static_cast<int>(num_at(jr, "capacity"));
+    r.arrivals = u64_at(jr, "arrivals");
+    r.completions = u64_at(jr, "completions");
+    r.busy_s = num_at(jr, "busy_s");
+    r.queue_integral_s = num_at(jr, "queue_integral_s");
+    r.queue_mean = num_at(jr, "queue_mean");
+    r.queue_max = u64_at(jr, "queue_max");
+    r.waited_s = num_at(jr, "waited_s");
+    r.pending_wait_s = num_at(jr, "pending_wait_s");
+    r.in_system_start = u64_at(jr, "in_system_start");
+    r.in_system_end = u64_at(jr, "in_system_end");
+    if (const JsonValue* wv = jr.find("wait")) {
+      r.wait.count = u64_at(*wv, "count");
+      r.wait.sum_s = num_at(*wv, "sum_s");
+      r.wait_max_s = num_at(*wv, "max_s");
+      if (const JsonValue* bk = wv->find("buckets");
+          bk && bk->is_array() && !bk->arr.empty()) {
+        r.wait.buckets.assign(static_cast<std::size_t>(out.layout.size()),
+                              0);
+        for (const JsonValue& pair : bk->arr) {
+          if (!pair.is_array() || pair.arr.size() != 2) {
+            error = "wait bucket entry is not an [index, count] pair";
+            return false;
+          }
+          const std::size_t idx =
+              static_cast<std::size_t>(pair.arr[0].num);
+          if (idx >= r.wait.buckets.size()) {
+            error = "wait bucket index out of range";
+            return false;
+          }
+          r.wait.buckets[idx] =
+              static_cast<std::uint64_t>(pair.arr[1].num);
+        }
+      }
+    }
+    r.utilization = num_at(jr, "utilization");
+    r.throughput = num_at(jr, "throughput");
+    r.service_s = num_at(jr, "service_s");
+    r.demand_s = num_at(jr, "demand_s");
+    r.saturation_tps = num_at(jr, "saturation_tps");
+    out.rows.push_back(std::move(r));
+  }
+  return true;
+}
+
+}  // namespace gemsd::obs

@@ -14,6 +14,7 @@ namespace gemsd::obs {
 
 struct EngProfile;
 struct TsSeries;
+struct ResourceSet;
 
 /// One periodic-sampler observation (taken every ObsConfig::sample_every
 /// simulated seconds, from t=0 — warm-up included, so convergence is
@@ -118,6 +119,11 @@ struct RunTelemetry {
   /// Per-window time series (--timeseries; null when off). Simulation-time
   /// deterministic: bit-identical across engine kinds and worker counts.
   std::shared_ptr<const TsSeries> timeseries;
+
+  /// Per-resource queueing snapshot (--resources; null when off). Read from
+  /// counters sim::Resource maintains anyway, so it is simulation-time
+  /// deterministic like the time series.
+  std::shared_ptr<const ResourceSet> resources;
 };
 
 /// Serialize a run's trace as Chrome trace-event JSON (loadable in Perfetto

@@ -54,6 +54,12 @@ void TsWindow::merge_from(const TsWindow& o) {
   gem_busy_s += o.gem_busy_s;
   net_busy_s += o.net_busy_s;
   disk_busy_s += o.disk_busy_s;
+  if (o.station_busy_s.size() > station_busy_s.size()) {
+    station_busy_s.resize(o.station_busy_s.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < o.station_busy_s.size(); ++i) {
+    station_busy_s[i] += o.station_busy_s[i];
+  }
 }
 
 double TsSeries::window_end(std::size_t i) const {
@@ -131,6 +137,14 @@ void TimeSeriesRecorder::poll_and_fold(sim::SimTime now) {
     const double d_gem = cum.gem_busy_s - prev_.gem_busy_s;
     const double d_net = cum.net_busy_s - prev_.net_busy_s;
     const double d_disk = cum.disk_busy_s - prev_.disk_busy_s;
+    std::vector<double> d_station(stations_.size(), 0.0);
+    for (std::size_t i = 0; i < d_station.size(); ++i) {
+      const double c =
+          i < cum.station_busy_s.size() ? cum.station_busy_s[i] : 0.0;
+      const double p =
+          i < prev_.station_busy_s.size() ? prev_.station_busy_s[i] : 0.0;
+      d_station[i] = c - p;
+    }
 
     sim::SimTime t0 = prev_t_;
     while (t0 < now) {
@@ -150,6 +164,12 @@ void TimeSeriesRecorder::poll_and_fold(sim::SimTime now) {
       w.gem_busy_s += f * d_gem;
       w.net_busy_s += f * d_net;
       w.disk_busy_s += f * d_disk;
+      if (!d_station.empty() && w.station_busy_s.size() < d_station.size()) {
+        w.station_busy_s.resize(d_station.size(), 0.0);
+      }
+      for (std::size_t i = 0; i < d_station.size(); ++i) {
+        w.station_busy_s[i] += f * d_station[i];
+      }
       t0 = seg_end;
     }
   }
@@ -214,6 +234,7 @@ TsSeries TimeSeriesRecorder::snapshot(sim::SimTime end) const {
   s.gem_capacity = gem_cap_;
   s.net_capacity = net_cap_;
   s.disk_capacity = disk_cap_;
+  s.stations = stations_;
   s.windows = windows_;
   return s;
 }
@@ -250,6 +271,21 @@ std::string timeseries_json(
   w.kv("net", s.net_capacity);
   w.kv("disk", s.disk_capacity);
   w.end_object();
+  // Additive v1 extension: the tracked-station list plus a per-window
+  // "station_busy_s" array in the same order. Omitted entirely when no
+  // station list was installed — documents written without the extension
+  // keep their exact bytes.
+  if (!s.stations.empty()) {
+    w.key("stations");
+    w.begin_array();
+    for (const TsStation& st : s.stations) {
+      w.begin_object();
+      w.kv("name", st.name);
+      w.kv("capacity", st.capacity);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.key("windows");
   w.begin_array();
   for (std::size_t i = 0; i < s.windows.size(); ++i) {
@@ -272,6 +308,14 @@ std::string timeseries_json(
     w.kv("net", win.net_busy_s);
     w.kv("disk", win.disk_busy_s);
     w.end_object();
+    if (!s.stations.empty()) {
+      w.key("station_busy_s");
+      w.begin_array();
+      for (std::size_t b = 0; b < s.stations.size(); ++b) {
+        w.value(b < win.station_busy_s.size() ? win.station_busy_s[b] : 0.0);
+      }
+      w.end_array();
+    }
     w.key("resp");
     w.begin_object();
     w.kv("count", static_cast<std::uint64_t>(win.resp.count));
@@ -354,6 +398,16 @@ bool timeseries_from_json(const JsonValue& doc, TsSeries& out,
     out.net_capacity = num_at(*cp, "net");
     out.disk_capacity = num_at(*cp, "disk");
   }
+  if (const JsonValue* st = doc.find("stations"); st && st->is_array()) {
+    for (const JsonValue& js : st->arr) {
+      TsStation s;
+      if (const JsonValue* nm = js.find("name"); nm && nm->is_string()) {
+        s.name = nm->str;
+      }
+      s.capacity = num_at(js, "capacity");
+      out.stations.push_back(std::move(s));
+    }
+  }
   const JsonValue* windows = doc.find("windows");
   if (!windows || !windows->is_array()) {
     error = "missing windows array";
@@ -375,6 +429,12 @@ bool timeseries_from_json(const JsonValue& doc, TsSeries& out,
       w.gem_busy_s = num_at(*b, "gem");
       w.net_busy_s = num_at(*b, "net");
       w.disk_busy_s = num_at(*b, "disk");
+    }
+    if (const JsonValue* sb = jw.find("station_busy_s");
+        sb && sb->is_array()) {
+      for (const JsonValue& v : sb->arr) {
+        w.station_busy_s.push_back(v.is_number() ? v.num : 0.0);
+      }
     }
     if (const JsonValue* r = jw.find("resp"); r && r->is_object()) {
       w.resp.count = u64_at(*r, "count");
@@ -659,7 +719,11 @@ std::string timeseries_csv(const TsSeries& s) {
       "t0_s,t1_s,in_warmup,commits,aborts,throughput_tps,resp_mean_ms,"
       "resp_p50_ms,resp_p95_ms,resp_p99_ms,events_per_s,lock_waits_per_s,"
       "deadlocks_per_s,hit_ratio,msgs_per_s,cpu_util,gem_util,net_util,"
-      "disk_util\n";
+      "disk_util";
+  // Additive per-station utilization columns; absent for documents without
+  // the station list, so existing consumers see the exact header they did.
+  for (const TsStation& st : s.stations) out += ",util_" + st.name;
+  out += "\n";
   const auto n = [](double v) { return JsonWriter::number(v); };
   for (std::size_t i = 0; i < s.windows.size(); ++i) {
     const TsWindow& w = s.windows[i];
@@ -681,7 +745,14 @@ std::string timeseries_csv(const TsSeries& s) {
            n(sim::safe_ratio(w.cpu_busy_s, width * s.cpu_capacity)) + "," +
            n(sim::safe_ratio(w.gem_busy_s, width * s.gem_capacity)) + "," +
            n(sim::safe_ratio(w.net_busy_s, width * s.net_capacity)) + "," +
-           n(sim::safe_ratio(w.disk_busy_s, width * s.disk_capacity)) + "\n";
+           n(sim::safe_ratio(w.disk_busy_s, width * s.disk_capacity));
+    for (std::size_t b = 0; b < s.stations.size(); ++b) {
+      const double busy =
+          b < w.station_busy_s.size() ? w.station_busy_s[b] : 0.0;
+      out += "," +
+             n(sim::safe_ratio(busy, width * s.stations[b].capacity));
+    }
+    out += "\n";
   }
   return out;
 }

@@ -58,6 +58,16 @@ struct TsSketch {
   bool operator==(const TsSketch& o) const = default;
 };
 
+/// One named station tracked per window (additive v1 extension): busy
+/// server-seconds per window divided by capacity·width gives the per-window
+/// utilization, which is what shows a bottleneck migrating between stations
+/// (e.g. network vs GEM under a diurnal arrival curve).
+struct TsStation {
+  std::string name;      ///< resource-snapshot naming (gem.shard0, net, ...)
+  double capacity = 0;   ///< servers
+  bool operator==(const TsStation& o) const = default;
+};
+
 /// Per-node slice of one window (kept light: the full sketch is cluster-wide).
 struct TsNodeWindow {
   std::uint64_t commits = 0;
@@ -86,6 +96,9 @@ struct TsWindow {
   double gem_busy_s = 0;
   double net_busy_s = 0;
   double disk_busy_s = 0;  ///< db + log arms
+  /// Busy server-seconds per tracked station (TsSeries::stations order);
+  /// empty when no station list was installed.
+  std::vector<double> station_busy_s;
 
   void merge_from(const TsWindow& o);
   bool operator==(const TsWindow& o) const = default;
@@ -104,6 +117,9 @@ struct TsCumulative {
   double gem_busy_s = 0;
   double net_busy_s = 0;
   double disk_busy_s = 0;
+  /// Per-station busy integrals (recorder's station order). The poller must
+  /// clear and refill this on every call.
+  std::vector<double> station_busy_s;
 };
 
 /// Immutable snapshot behind the gemsd.timeseries.v1 document.
@@ -121,6 +137,9 @@ struct TsSeries {
   double gem_capacity = 0;   ///< GEM servers
   double net_capacity = 0;   ///< network links
   double disk_capacity = 0;  ///< total disk arms (db + log)
+  /// Tracked stations (additive; empty in documents written before the
+  /// per-station extension or when no list was installed).
+  std::vector<TsStation> stations;
   std::vector<TsWindow> windows;  ///< windows[i] covers [i*w, (i+1)*w)
 
   /// End of window i, clamped to the run end for the last partial window.
@@ -139,6 +158,12 @@ class TimeSeriesRecorder {
   /// simulated event processing; must only read.
   void set_poller(Poller p) { poller_ = std::move(p); }
   void set_capacities(double cpu, double gem, double net, double disk);
+  /// Install the tracked-station list (bounded: GEM shards, network, disk
+  /// partitions, log aggregate — not per-node stations). The poller fills
+  /// TsCumulative::station_busy_s in the same order.
+  void set_stations(std::vector<TsStation> stations) {
+    stations_ = std::move(stations);
+  }
 
   /// Transaction-manager hooks (exact, bucketed by event time). A hook call
   /// landing in a new window triggers a poll first, so poll-fed fields keep
@@ -175,6 +200,7 @@ class TimeSeriesRecorder {
   int coarsenings_ = 0;
   sim::SimTime stats_start_ = 0;
   double cpu_cap_ = 0, gem_cap_ = 0, net_cap_ = 0, disk_cap_ = 0;
+  std::vector<TsStation> stations_;
 
   Poller poller_;
   TsCumulative prev_;

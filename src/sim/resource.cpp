@@ -20,7 +20,7 @@ void Resource::release() {
   ++completions_;
   if (!q_.empty()) {
     // Hand the slot directly to the oldest waiter; busy count is unchanged.
-    auto h = q_.front();
+    auto h = q_.front().h;
     q_.pop_front();
     qlen_tw_.set(sched_.now(), static_cast<double>(q_.size()));
     sched_.schedule(sched_.now(), h);
@@ -38,10 +38,16 @@ Task<double> Resource::use(SimTime service) {
 }
 
 void Resource::reset_stats() {
-  busy_tw_.reset(sched_.now());
-  qlen_tw_.reset(sched_.now());
+  const SimTime now = sched_.now();
+  busy_tw_.reset(now);
+  qlen_tw_.reset(now);
   wait_ = MeanStat{};
+  arrivals_ = 0;
   completions_ = 0;
+  waited_s_ = 0.0;
+  queue_max_ = q_.size();
+  horizon_start_ = now;
+  in_system_at_reset_ = in_system();
 }
 
 }  // namespace gemsd::sim

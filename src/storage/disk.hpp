@@ -44,6 +44,9 @@ class DiskGroup {
   double controller_utilization() const { return controllers_.utilization(); }
   const sim::Resource& arms() const { return arms_; }
   const sim::Resource& controllers() const { return controllers_; }
+  /// Mutable stations (observability wiring: wait-sketch attachment).
+  sim::Resource& arms() { return arms_; }
+  sim::Resource& controllers() { return controllers_; }
   std::uint64_t reads() const { return reads_.value(); }
   std::uint64_t writes() const { return writes_.value(); }
   const std::string& name() const { return name_; }

@@ -41,6 +41,8 @@ class GemDevice {
 
   double utilization() const { return server_.utilization(); }
   const sim::Resource& server() const { return server_; }
+  /// Mutable station (observability wiring: wait-sketch attachment).
+  sim::Resource& server() { return server_; }
   std::uint64_t page_ops() const { return pages_.value(); }
   std::uint64_t entry_ops() const { return entries_.value(); }
   void reset_stats() {

@@ -54,6 +54,7 @@ DiskGroup& StorageManager::log_group(NodeId n) {
         std::max(cfg_.log_disks_per_node, 1),
         DiskGroup::Times{cfg_.disk.log_disk, cfg_.disk.controller,
                          cfg_.disk.transfer});
+    if (group_built_hook_) group_built_hook_(*slot);
   }
   return *slot;
 }

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cc/shard_map.hpp"
@@ -93,6 +95,12 @@ class StorageManager {
   const DiskGroup* log_group_if_built(NodeId n) const {
     return logs_[static_cast<std::size_t>(n)].get();
   }
+  /// Invoked whenever a lazy log group is first constructed (observability
+  /// wiring: wait-sketch attachment). Pure observation — the hook must not
+  /// mutate simulation state.
+  void set_group_built_hook(std::function<void(DiskGroup&)> hook) {
+    group_built_hook_ = std::move(hook);
+  }
 
   void reset_stats();
 
@@ -107,6 +115,7 @@ class StorageManager {
   std::vector<std::unique_ptr<DiskGroup>> groups_;  // per partition
   std::vector<std::unique_ptr<GemPageCache>> gem_caches_;
   std::vector<std::unique_ptr<DiskGroup>> logs_;    // per node, lazily built
+  std::function<void(DiskGroup&)> group_built_hook_;
 };
 
 }  // namespace gemsd::storage

@@ -41,6 +41,17 @@
 //       the CI scale-out footprint gate. A document without a usable memory
 //       reading (pre-memory results, non-Linux writer) exits 2.
 //
+//   gemsd_analyze --bottleneck[=FILE] [<resources.json>]
+//       Capacity analysis from a "gemsd.resources.v1" document (written by
+//       --resources on any bench, gemsd_run or gemsd_scenario): stations
+//       ranked by utilization and service demand, the cluster bottleneck,
+//       each station's saturation arrival rate, the asymptotic throughput
+//       bound X_max = min_i capacity_i/demand_i, what-if projections at
+//       1.5x/2x the measured arrival rate, and M/M/1 bottleneck-split
+//       projections (e.g. GLT sharding). The operational laws are reconciled
+//       first; a violation, or measured throughput above X_max (impossible
+//       on a document the simulator wrote), exits 1 — the CI capacity gate.
+//
 //   gemsd_analyze --engine-profile <engprof.json> [--top=K]
 //       Engine parallelism report from a "gemsd.engprof.v1" document
 //       (written by --engine-profile on any bench or gemsd_run): top
@@ -61,6 +72,7 @@
 #include "obs/critpath.hpp"
 #include "obs/engprof.hpp"
 #include "obs/json.hpp"
+#include "obs/resources.hpp"
 #include "obs/timeseries.hpp"
 
 namespace {
@@ -89,6 +101,7 @@ int usage() {
       "       gemsd_analyze <trace.json> --critical-path[=FILE] [--top=K]\n"
       "       gemsd_analyze --compare <baseline.json> <candidate.json>\n"
       "                     [--tolerance=T]\n"
+      "       gemsd_analyze --bottleneck[=FILE] [<resources.json>]\n"
       "       gemsd_analyze --engine-profile <engprof.json> [--top=K]\n"
       "       gemsd_analyze --timeseries <timeseries.json> [--csv=FILE]\n"
       "       gemsd_analyze --memory-budget=BYTES <results.json>\n");
@@ -150,6 +163,7 @@ int main(int argc, char** argv) {
   bool critpath = false;
   bool engprof = false;
   bool timeseries = false;
+  bool bottleneck = false;
   double memory_budget = 0.0;  // > 0: --memory-budget mode
   std::string critpath_file;
   std::string csv_file;
@@ -165,6 +179,11 @@ int main(int argc, char** argv) {
       engprof = true;
     } else if (std::strcmp(a, "--timeseries") == 0) {
       timeseries = true;
+    } else if (std::strcmp(a, "--bottleneck") == 0) {
+      bottleneck = true;
+    } else if (std::strncmp(a, "--bottleneck=", 13) == 0) {
+      bottleneck = true;
+      trace_path = a + 13;
     } else if (std::strncmp(a, "--memory-budget=", 16) == 0) {
       memory_budget = std::atof(a + 16);
       if (memory_budget <= 0.0) {
@@ -208,6 +227,40 @@ int main(int argc, char** argv) {
   if (trace_path.empty()) return usage();
   if (memory_budget > 0.0) return run_memory_budget(trace_path, memory_budget);
   if (tolerance < 0.0) tolerance = 0.01;
+
+  if (bottleneck) {
+    obs::JsonValue doc;
+    if (!load_json(trace_path, doc)) return 2;
+    obs::ResourceSet s;
+    std::string error;
+    if (!obs::resources_from_json(doc, s, error)) {
+      std::fprintf(stderr, "error: %s: %s\n", trace_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const std::vector<obs::LawViolation> laws = obs::check_resource_laws(s);
+    const obs::BottleneckReport rep = obs::analyze_bottleneck(s);
+    std::fputs(obs::format_bottleneck_report(s, rep, laws).c_str(), stdout);
+    // Operational laws hold as identities on every document the simulator
+    // writes, and measured throughput cannot exceed the asymptotic bound
+    // X·D_i = U_i·c_i ≤ c_i. A violation means the document is corrupt (or
+    // hand-edited) — fail the gate.
+    if (!laws.empty()) {
+      std::fprintf(stderr,
+                   "error: %zu operational-law violation(s); first: %s: %s\n",
+                   laws.size(), laws.front().resource.c_str(),
+                   laws.front().what.c_str());
+      return 1;
+    }
+    if (!rep.within_bound) {
+      std::fprintf(stderr,
+                   "error: measured throughput %.6g exceeds the asymptotic "
+                   "bound %.6g — corrupt document\n",
+                   rep.measured_x, rep.x_max);
+      return 1;
+    }
+    return 0;
+  }
 
   if (timeseries) {
     obs::JsonValue doc;

@@ -7,7 +7,7 @@
 //              [--engine=sequential|parallel] [--engine-workers=N]
 //              [--engine-profile[=FILE]] [--engine-profile-trace=FILE]
 //              [--progress[=SECS]] [--timeseries[=FILE]]
-//              [--timeseries-window=S]
+//              [--timeseries-window=S] [--resources[=FILE]]
 //
 // A spec holds either a single configuration or a whole sweep (one [run]
 // section per point — the format gemsd_bench --export-spec writes; see
@@ -93,6 +93,11 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --timeseries-window must be > 0\n");
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--resources") == 0) {
+      obs_opt.resources = true;
+    } else if (std::strncmp(argv[i], "--resources=", 12) == 0) {
+      obs_opt.resources = true;
+      obs_opt.resources_file = argv[i] + 12;
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       obs_opt.progress_every_s = 10.0;
     } else if (std::strncmp(argv[i], "--progress=", 11) == 0) {
@@ -127,7 +132,7 @@ int main(int argc, char** argv) {
                  "[--engine=sequential|parallel] [--engine-workers=N] "
                  "[--engine-profile[=FILE]] [--engine-profile-trace=FILE] "
                  "[--progress[=SECS]] [--timeseries[=FILE]] "
-                 "[--timeseries-window=S]\n");
+                 "[--timeseries-window=S] [--resources[=FILE]]\n");
     return 1;
   }
 
@@ -211,6 +216,9 @@ int main(int argc, char** argv) {
       obs.timeseries = true;
       obs.timeseries_window = obs_opt.timeseries_window;
     }
+    if (obs_opt.resources && si == picked) {
+      obs.resources = true;
+    }
     SystemConfig::EngineConfig eng;
     eng.kind = obs_opt.engine;
     eng.workers = obs_opt.engine_workers;
@@ -254,7 +262,7 @@ int main(int argc, char** argv) {
   }
 
   if (!obs_opt.no_json || !obs_opt.trace_file.empty() ||
-      obs_opt.engine_profile || obs_opt.timeseries) {
+      obs_opt.engine_profile || obs_opt.timeseries || obs_opt.resources) {
     std::vector<BenchRun> bruns(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       bruns[i].config = results[i].cfg;
@@ -270,6 +278,7 @@ int main(int argc, char** argv) {
     write_trace_file(obs_opt, bruns);
     write_engprof_files("run", obs_opt, bruns);
     write_timeseries_file("run", obs_opt, bruns);
+    write_resources_file("run", obs_opt, bruns);
   }
 
   for (std::size_t i = 0; i < results.size(); ++i) {
